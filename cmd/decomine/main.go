@@ -1,0 +1,153 @@
+// Command decomine is the CLI front door to the DecoMine system:
+// pattern counting, motif censuses, FSM, constrained queries, plan
+// explanation and Go code generation over edge-list graphs or the
+// builtin synthetic datasets.
+//
+// Usage:
+//
+//	decomine [-graph path | -dataset name] [-threads N] [-model approx-mining|locality|automine] <command> [args]
+//
+// Commands:
+//
+//	count <pattern>            edge-induced embedding count
+//	count-vi <pattern>         vertex-induced embedding count
+//	motifs <k>                 vertex-induced counts of all k-motifs
+//	cycles <k>                 k-cycle count
+//	pseudoclique <n>           pseudo-clique (missing<=1) count
+//	fsm <support> <maxEdges>   frequent subgraph mining (labeled graphs)
+//	explain <pattern>          show the selected algorithm
+//	codegen <pattern>          emit the selected plan as Go source
+//
+// <pattern> is an edge list ("0-1,1-2,2-0") or a named pattern
+// (clique-4, cycle-5, chain-3, star-4, house, fig6, p1..p5).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"decomine"
+)
+
+func main() {
+	graphPath := flag.String("graph", "", "edge-list graph file (with optional .labels companion)")
+	dataset := flag.String("dataset", "wk", "builtin dataset (cs ee wk mc pt lj fr rmat); ignored when -graph is set")
+	threads := flag.Int("threads", 0, "worker threads (0 = GOMAXPROCS)")
+	model := flag.String("model", "approx-mining", "cost model: approx-mining, locality, automine")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) < 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	g, err := loadGraph(*graphPath, *dataset)
+	fatalIf(err)
+	fmt.Fprintf(os.Stderr, "graph: %s\n", g)
+	sys := decomine.NewSystem(g, decomine.Options{
+		Threads:   *threads,
+		CostModel: decomine.CostModelKind(*model),
+	})
+
+	switch args[0] {
+	case "count", "count-vi", "explain", "codegen":
+		if len(args) < 2 {
+			fatal("missing pattern argument")
+		}
+		p, err := parsePattern(args[1])
+		fatalIf(err)
+		switch args[0] {
+		case "count":
+			start := time.Now()
+			c, err := sys.GetPatternCount(p)
+			fatalIf(err)
+			fmt.Printf("%d\t(%s)\n", c, time.Since(start).Round(time.Millisecond))
+		case "count-vi":
+			start := time.Now()
+			c, err := sys.GetPatternCountVertexInduced(p)
+			fatalIf(err)
+			fmt.Printf("%d\t(%s)\n", c, time.Since(start).Round(time.Millisecond))
+		case "explain":
+			s, err := sys.Explain(p)
+			fatalIf(err)
+			fmt.Println(s)
+		case "codegen":
+			src, err := sys.GoSource(p, "main", "CountPattern")
+			fatalIf(err)
+			fmt.Print(src)
+		}
+	case "motifs":
+		k := atoiArg(args, 1, "k")
+		start := time.Now()
+		counts, err := sys.MotifCounts(k)
+		fatalIf(err)
+		var total int64
+		for _, mc := range counts {
+			fmt.Printf("%-40s %d\n", mc.Pattern, mc.Count)
+			total += mc.Count
+		}
+		fmt.Printf("total: %d\t(%s)\n", total, time.Since(start).Round(time.Millisecond))
+	case "cycles":
+		k := atoiArg(args, 1, "k")
+		start := time.Now()
+		c, err := sys.CycleCount(k)
+		fatalIf(err)
+		fmt.Printf("%d\t(%s)\n", c, time.Since(start).Round(time.Millisecond))
+	case "pseudoclique":
+		n := atoiArg(args, 1, "n")
+		start := time.Now()
+		c, err := sys.PseudoCliqueCount(n, 1)
+		fatalIf(err)
+		fmt.Printf("%d\t(%s)\n", c, time.Since(start).Round(time.Millisecond))
+	case "fsm":
+		tau := int64(atoiArg(args, 1, "support"))
+		maxEdges := atoiArg(args, 2, "maxEdges")
+		start := time.Now()
+		res, err := sys.FSM(tau, maxEdges)
+		fatalIf(err)
+		for _, fp := range res {
+			fmt.Printf("%-40s support=%d\n", fp.Pattern, fp.Support)
+		}
+		fmt.Printf("%d frequent patterns\t(%s)\n", len(res), time.Since(start).Round(time.Millisecond))
+	default:
+		fatal(fmt.Sprintf("unknown command %q", args[0]))
+	}
+}
+
+func loadGraph(path, dataset string) (*decomine.Graph, error) {
+	if path != "" {
+		return decomine.LoadGraph(path)
+	}
+	return decomine.Dataset(dataset)
+}
+
+func parsePattern(s string) (*decomine.Pattern, error) {
+	if p, err := decomine.PatternByName(s); err == nil {
+		return p, nil
+	}
+	return decomine.ParsePattern(s)
+}
+
+func atoiArg(args []string, i int, name string) int {
+	if len(args) <= i {
+		fatal("missing " + name + " argument")
+	}
+	var v int
+	if _, err := fmt.Sscanf(args[i], "%d", &v); err != nil {
+		fatal("bad " + name + ": " + args[i])
+	}
+	return v
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fatal(err.Error())
+	}
+}
+
+func fatal(msg string) {
+	fmt.Fprintln(os.Stderr, "decomine:", msg)
+	os.Exit(1)
+}

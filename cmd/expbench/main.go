@@ -1,0 +1,53 @@
+// Command expbench regenerates the tables and figures of the DecoMine
+// paper's evaluation (§8). Each experiment prints the same rows/series
+// the paper reports, produced by this repository's implementation and
+// its baseline comparators on the builtin synthetic datasets.
+//
+// Usage:
+//
+//	expbench [-budget 60s] [-threads 0] [-quick] [exp ...]
+//
+// With no experiment arguments every experiment runs in paper order.
+// Valid experiment IDs: fig1 tab2 tab3 tab4 tab5 tab6 tab7 fig11b
+// fig11c fig14 fig15 fig16 fig17 sec86 fig18 fig19.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"decomine/internal/exp"
+)
+
+func main() {
+	budget := flag.Duration("budget", 60*time.Second, "per-cell wall-clock budget (cells exceeding it print T)")
+	threads := flag.Int("threads", 0, "worker threads (0 = GOMAXPROCS)")
+	quick := flag.Bool("quick", false, "shrink pattern sizes and dataset lists for a fast smoke run")
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(exp.Order, " "))
+		return
+	}
+
+	cfg := exp.Config{Budget: *budget, Threads: *threads, Quick: *quick}
+	ids := flag.Args()
+	if len(ids) == 0 {
+		ids = exp.Order
+	}
+	for _, id := range ids {
+		fn, ok := exp.Registry[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "expbench: unknown experiment %q (valid: %s)\n", id, strings.Join(exp.Order, " "))
+			os.Exit(2)
+		}
+		start := time.Now()
+		table := fn(cfg)
+		fmt.Println(table.String())
+		fmt.Printf("(%s regenerated in %s)\n\n", id, exp.FormatDuration(time.Since(start)))
+	}
+}

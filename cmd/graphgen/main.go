@@ -1,0 +1,88 @@
+// Command graphgen writes synthetic benchmark graphs as edge-list files
+// loadable by the decomine CLI and library (plus a .labels companion for
+// labeled graphs).
+//
+// Usage:
+//
+//	graphgen -out graph.txt -kind rmat -scale 16 -edgefactor 8 [-labels 10] [-seed 42]
+//	graphgen -out graph.txt -kind gnp  -n 10000 -p 0.001
+//	graphgen -out graph.txt -kind smallworld -n 1000 -k 8 -beta 0.1
+//	graphgen -out graph.txt -dataset wk     # dump a builtin dataset
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"decomine"
+)
+
+func main() {
+	out := flag.String("out", "", "output edge-list path (required)")
+	kind := flag.String("kind", "rmat", "generator: rmat, gnp, smallworld")
+	dataset := flag.String("dataset", "", "dump a builtin dataset instead of generating")
+	scale := flag.Int("scale", 16, "rmat: log2(|V|)")
+	edgeFactor := flag.Int("edgefactor", 8, "rmat: edges per vertex")
+	n := flag.Int("n", 10000, "gnp/smallworld: vertex count")
+	p := flag.Float64("p", 0.001, "gnp: edge probability")
+	k := flag.Int("k", 8, "smallworld: neighbors per side")
+	beta := flag.Float64("beta", 0.1, "smallworld: rewiring probability")
+	labels := flag.Int("labels", 0, "attach this many random vertex labels (0 = unlabeled)")
+	seed := flag.Int64("seed", 42, "random seed")
+	flag.Parse()
+
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "graphgen: -out is required")
+		os.Exit(2)
+	}
+	var g *decomine.Graph
+	var err error
+	switch {
+	case *dataset != "":
+		g, err = decomine.Dataset(*dataset)
+	case *kind == "rmat":
+		g = decomine.GenerateRMAT(*scale, *edgeFactor, *seed)
+	case *kind == "gnp":
+		g = decomine.GenerateGNP(*n, *p, *seed)
+	case *kind == "smallworld":
+		g, err = smallWorld(*n, *k, *beta, *seed)
+	default:
+		err = fmt.Errorf("unknown kind %q", *kind)
+	}
+	fatalIf(err)
+	if *labels > 0 {
+		g = g.WithRandomLabels(*labels, *seed+1)
+	}
+
+	f, err := os.Create(*out)
+	fatalIf(err)
+	defer f.Close()
+	fatalIf(g.WriteEdgeList(f))
+	if g.Labeled() {
+		lf, err := os.Create(*out + ".labels")
+		fatalIf(err)
+		defer lf.Close()
+		w := bufio.NewWriter(lf)
+		for v := 0; v < g.NumVertices(); v++ {
+			fmt.Fprintln(w, g.Label(uint32(v)))
+		}
+		fatalIf(w.Flush())
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s: %s\n", *out, g)
+}
+
+func smallWorld(n, k int, beta float64, seed int64) (*decomine.Graph, error) {
+	// The library exposes small-world generation through the dataset
+	// analogues; for graphgen we reuse the GNP+rewire equivalent via the
+	// internal generator re-exported here.
+	return decomine.GenerateSmallWorld(n, k, beta, seed), nil
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "graphgen:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,263 @@
+package decomine
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"decomine/internal/core"
+	"decomine/internal/cost"
+	"decomine/internal/engine"
+	"decomine/internal/pattern"
+	"decomine/internal/sampling"
+)
+
+// CostModelKind selects the cost model used by the algorithm search
+// (paper §6).
+type CostModelKind string
+
+const (
+	// CostApproxMining is the approximate-mining based model (the
+	// paper's default and most accurate).
+	CostApproxMining CostModelKind = "approx-mining"
+	// CostLocality is the locality-aware random-graph model.
+	CostLocality CostModelKind = "locality"
+	// CostAutoMine is AutoMine's uniform random-graph model.
+	CostAutoMine CostModelKind = "automine"
+)
+
+// Options configures a System.
+type Options struct {
+	// Threads used by plan execution; 0 means GOMAXPROCS.
+	Threads int
+	// CostModel picks the plan-ranking model (default CostApproxMining).
+	CostModel CostModelKind
+	// PLocal is the locality model's within-α-hops connection
+	// probability (default 0.25).
+	PLocal float64
+	// DisableDecomposition restricts the compiler to direct
+	// (AutoMine-style) plans.
+	DisableDecomposition bool
+	// DisablePLR turns off pattern-aware loop rewriting.
+	DisablePLR bool
+	// DisableCountLastLoop turns off the last-loop counting optimization
+	// (used to model the AutoMine baseline, which lacks GraphPi's
+	// mathematical counting optimization).
+	DisableCountLastLoop bool
+	// DisableOptimize skips the LICM/CSE/DCE middle end (ablation).
+	DisableOptimize bool
+	// MaxCandidates caps the number of plans costed per pattern.
+	MaxCandidates int
+	// ProfileSampleEdges / ProfileTrials configure the approximate-mining
+	// profiler (defaults 200k edges, 30k walks).
+	ProfileSampleEdges int
+	ProfileTrials      int
+	// Seed fixes all randomized choices.
+	Seed int64
+}
+
+// System binds a graph to compilation options and caches compiled plans
+// and the profiling table.
+type System struct {
+	graph *Graph
+	opts  Options
+
+	mu        sync.Mutex
+	profile   *sampling.Profile
+	model     cost.Model
+	planCache map[planKey]*planEntry
+	emitInfo  map[planKey][]subInfo
+
+	// ProfileTime records how long the one-off approximate-mining
+	// profiling took (paper §6.3 reports it separately).
+	ProfileTime time.Duration
+	// LastCompileTime records the duration of the most recent plan
+	// search+generation (Figure 18).
+	LastCompileTime time.Duration
+}
+
+type planKey struct {
+	code    pattern.Code
+	mode    core.Mode
+	induced bool
+	flavor  string
+}
+
+type planEntry struct {
+	plan *core.Plan
+	cost float64
+}
+
+// NewSystem creates a mining system over g.
+func NewSystem(g *Graph, opts Options) *System {
+	if opts.CostModel == "" {
+		opts.CostModel = CostApproxMining
+	}
+	return &System{graph: g, opts: opts, planCache: map[planKey]*planEntry{}}
+}
+
+// Graph returns the bound input graph.
+func (s *System) Graph() *Graph { return s.graph }
+
+// Model returns (building lazily) the configured cost model. The
+// approximate-mining model triggers one-off edge-sampling profiling.
+func (s *System) Model() cost.Model {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.modelLocked()
+}
+
+func (s *System) modelLocked() cost.Model {
+	if s.model != nil {
+		return s.model
+	}
+	st := cost.StatsOf(s.graph.g)
+	switch s.opts.CostModel {
+	case CostAutoMine:
+		s.model = cost.NewAutoMine(st)
+	case CostLocality:
+		s.model = cost.NewLocality(st, s.opts.PLocal)
+	default:
+		start := time.Now()
+		s.profile = sampling.BuildProfile(s.graph.g, sampling.Options{
+			SampleEdges: s.opts.ProfileSampleEdges,
+			Trials:      s.opts.ProfileTrials,
+			Seed:        s.opts.Seed + 1000,
+		})
+		s.ProfileTime = time.Since(start)
+		s.model = cost.NewApproxMining(st, s.profile)
+	}
+	return s.model
+}
+
+func (s *System) searchOptions(mode core.Mode, induced bool) core.SearchOptions {
+	return core.SearchOptions{
+		Model:                s.Model(),
+		Mode:                 mode,
+		Induced:              induced,
+		DisableDecomposition: s.opts.DisableDecomposition,
+		DisablePLR:           s.opts.DisablePLR,
+		DisableOptimize:      s.opts.DisableOptimize,
+		DisableCountLastLoop: s.opts.DisableCountLastLoop,
+		MaxCandidates:        s.opts.MaxCandidates,
+	}
+}
+
+// plan returns a compiled plan for p, caching by canonical pattern code.
+func (s *System) plan(p *pattern.Pattern, mode core.Mode, induced bool) (*core.Plan, error) {
+	key := planKey{code: p.Canonical(), mode: mode, induced: induced, flavor: "std"}
+	s.mu.Lock()
+	if e, ok := s.planCache[key]; ok {
+		s.mu.Unlock()
+		return e.plan, nil
+	}
+	s.mu.Unlock()
+	start := time.Now()
+	best, _, err := core.Search(p, s.searchOptions(mode, induced))
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.LastCompileTime = time.Since(start)
+	s.planCache[key] = &planEntry{plan: best.Plan, cost: best.Cost}
+	s.mu.Unlock()
+	return best.Plan, nil
+}
+
+func (s *System) run(plan *core.Plan, newConsumer func(worker int) engine.Consumer) (int64, error) {
+	res, err := engine.Run(s.graph.g, plan.Prog, engine.Options{
+		Threads:     s.opts.Threads,
+		NewConsumer: newConsumer,
+	})
+	if err != nil {
+		return 0, err
+	}
+	return res.Globals[plan.CountGlobal] / plan.Divisor, nil
+}
+
+// GetPatternCount returns the number of edge-induced embeddings of p —
+// the paper's get_pattern_count API.
+func (s *System) GetPatternCount(p *Pattern) (int64, error) {
+	plan, err := s.plan(p.p, core.ModeCount, false)
+	if err != nil {
+		return 0, err
+	}
+	return s.run(plan, nil)
+}
+
+// GetPatternCountVertexInduced returns the number of vertex-induced
+// embeddings of p. The cost model arbitrates between direct
+// vertex-induced enumeration and the indirect method (edge-induced
+// counts of p's supergraph classes — computable with decomposition —
+// combined by inclusion-exclusion), per paper §2.2.
+func (s *System) GetPatternCountVertexInduced(p *Pattern) (int64, error) {
+	// Option 1: direct.
+	direct, _, errDirect := core.Search(p.p, s.searchOptions(core.ModeCount, true))
+	// Option 2: indirect via conversion.
+	plan2 := pattern.ConversionPlan(p.p)
+	var indirectCost float64
+	indirect := make([]*core.Plan, 0, len(plan2))
+	errIndirect := error(nil)
+	for _, q := range plan2 {
+		best, _, err := core.Search(q, s.searchOptions(core.ModeCount, false))
+		if err != nil {
+			errIndirect = err
+			break
+		}
+		indirectCost += best.Cost
+		indirect = append(indirect, best.Plan)
+	}
+	switch {
+	case errDirect != nil && errIndirect != nil:
+		return 0, fmt.Errorf("decomine: no vertex-induced plan for %s: %v / %v", p, errDirect, errIndirect)
+	case errIndirect != nil || (errDirect == nil && direct.Cost <= indirectCost):
+		return s.run(direct.Plan, nil)
+	}
+	ei := map[pattern.Code]int64{}
+	for i, q := range plan2 {
+		c, err := s.run(indirect[i], nil)
+		if err != nil {
+			return 0, err
+		}
+		ei[q.Canonical()] = c
+	}
+	return pattern.VertexInducedFromEdgeInduced(p.p, ei), nil
+}
+
+// CountWithConstraints counts embeddings of p whose vertex labels
+// satisfy every group constraint (paper §7.5, §8.6). The compiler
+// chooses a cutting set that resolves each sub-constraint on partially
+// materialized embeddings, falling back to a direct plan when no such
+// cutting set exists.
+func (s *System) CountWithConstraints(p *Pattern, cons []LabelConstraint) (int64, error) {
+	opts := s.searchOptions(core.ModeCount, false)
+	opts.Constraints = toCoreConstraints(cons)
+	best, _, err := core.Search(p.p, opts)
+	if err != nil {
+		return 0, err
+	}
+	return s.run(best.Plan, nil)
+}
+
+// Explain returns a human-readable description of the algorithm the
+// compiler selected for p: the decomposition choice, matching orders,
+// estimated cost and the optimized pseudo-code.
+func (s *System) Explain(p *Pattern) (string, error) {
+	best, cands, err := core.Search(p.p, s.searchOptions(core.ModeCount, false))
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("pattern: %s\nchosen: %s\nestimated cost: %.3g (best of %d candidates, model %s)\n\n%s",
+		p, best.Plan.Desc, best.Cost, len(cands), s.Model().Name(),
+		core.PlanPseudocode(best.Plan)), nil
+}
+
+// GoSource emits the selected plan for p as a standalone Go source file
+// (the paper's code-generation back-end, §7.4).
+func (s *System) GoSource(p *Pattern, pkg, funcName string) (string, error) {
+	plan, err := s.plan(p.p, core.ModeCount, false)
+	if err != nil {
+		return "", err
+	}
+	return core.GenerateGoSource(plan, pkg, funcName), nil
+}

@@ -1,0 +1,54 @@
+// Motif census: vertex-induced counts of every connected k-vertex
+// pattern — the paper's k-motif counting (k-MC) workload. DecoMine
+// counts edge-induced embeddings with pattern decomposition and recovers
+// the vertex-induced census by inclusion-exclusion.
+//
+//	go run ./examples/motifcensus [k] [dataset]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"time"
+
+	"decomine"
+)
+
+func main() {
+	k := 4
+	dataset := "ee"
+	if len(os.Args) > 1 {
+		var err error
+		k, err = strconv.Atoi(os.Args[1])
+		if err != nil || k < 3 || k > 6 {
+			log.Fatalf("usage: motifcensus [k in 3..6] [dataset]")
+		}
+	}
+	if len(os.Args) > 2 {
+		dataset = os.Args[2]
+	}
+
+	g, err := decomine.Dataset(dataset)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("graph:", g)
+
+	sys := decomine.NewSystem(g, decomine.Options{})
+	start := time.Now()
+	counts, err := sys.MotifCounts(k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	var total int64
+	for _, mc := range counts {
+		fmt.Printf("%-44s %14d\n", mc.Pattern, mc.Count)
+		total += mc.Count
+	}
+	fmt.Printf("\n%d pattern classes, %d vertex-induced embeddings total, %s\n",
+		len(counts), total, elapsed.Round(time.Millisecond))
+}

@@ -1,0 +1,56 @@
+// Quickstart: load a graph, count a pattern, and see which algorithm the
+// DecoMine compiler selected.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"decomine"
+)
+
+func main() {
+	// A builtin synthetic dataset (a WikiVote-class power-law graph).
+	// decomine.LoadGraph("my-graph.txt") reads your own edge lists.
+	g, err := decomine.Dataset("wk")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("graph:", g)
+
+	sys := decomine.NewSystem(g, decomine.Options{})
+
+	// Patterns come from edge-list strings or names.
+	fiveCycle, err := decomine.PatternByName("cycle-5")
+	if err != nil {
+		log.Fatal(err)
+	}
+	triangleWithTail := decomine.MustParsePattern("0-1,1-2,2-0,2-3")
+
+	for _, p := range []*decomine.Pattern{fiveCycle, triangleWithTail} {
+		count, err := sys.GetPatternCount(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("edge-induced embeddings of %s: %d\n", p, count)
+	}
+
+	// Vertex-induced counting (the cost model picks direct enumeration
+	// or decomposition + inclusion-exclusion automatically).
+	vi, err := sys.GetPatternCountVertexInduced(triangleWithTail)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("vertex-induced embeddings of %s: %d\n", triangleWithTail, vi)
+
+	// Explain shows the decomposition and matching order the compiler
+	// chose, with its cost estimate and the optimized pseudo-code.
+	explanation, err := sys.Explain(fiveCycle)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n--- compiler explanation for the 5-cycle ---")
+	fmt.Println(explanation)
+}

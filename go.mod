@@ -1,0 +1,3 @@
+module decomine
+
+go 1.22

@@ -1,0 +1,221 @@
+package ast
+
+// Loop fusion implements the paper's computation-reuse optimization
+// (Optimization 2, Figure 5): when several patterns are enumerated
+// together, loops that iterate the same candidate set merge, so the
+// shared prefix of their matching processes executes once. The pass
+// runs after CSE has unified identical set definitions: two sibling
+// loops whose Over registers alias the same definition iterate identical
+// sets and can fuse, substituting one loop variable for the other.
+// Interleaving bodies is sound because global-accumulator updates are
+// associative and commutative (§7.1) and volatile registers of distinct
+// source programs are disjoint by construction.
+
+// FuseSiblingLoops merges adjacent sibling loops over the same set
+// register, recursively, returning the number of fused loops. Callers
+// should alternate with CSE until fixpoint (see FuseAll).
+func FuseSiblingLoops(p *Program) int {
+	fused := 0
+	var rec func(body []*Node) []*Node
+	rec = func(body []*Node) []*Node {
+		var out []*Node
+		for _, n := range body {
+			if len(n.Body) > 0 {
+				n.Body = rec(n.Body)
+			}
+			if n.Kind == KLoop {
+				// Look back past pure definitions for a sibling loop over
+				// the same register. The intervening defs are root-scope
+				// (independent of any loop variable in this body suffix),
+				// so hoisting them before the earlier loop is safe and
+				// keeps them defined before the fused body runs.
+				if idx, ok := fusablePredecessor(out, n.Over); ok {
+					prev := out[idx]
+					between := append([]*Node(nil), out[idx+1:]...)
+					out = append(out[:idx], between...)
+					out = append(out, prev)
+					substVar(n.Body, n.Var, prev.Var)
+					prev.Body = append(prev.Body, n.Body...)
+					prev.Body = rec(prev.Body)
+					fused++
+					continue
+				}
+			}
+			out = append(out, n)
+		}
+		return out
+	}
+	p.Root.Body = rec(p.Root.Body)
+	return fused
+}
+
+// fusablePredecessor scans out backwards over pure defs for a loop over
+// the given set register. It refuses to scan past impure nodes (loops,
+// accumulators, hash ops, emissions): moving those would reorder side
+// effects.
+func fusablePredecessor(out []*Node, over int) (int, bool) {
+	for i := len(out) - 1; i >= 0; i-- {
+		n := out[i]
+		if n.Kind == KLoop {
+			if n.Over == over {
+				return i, true
+			}
+			return 0, false
+		}
+		if !pure(n) {
+			return 0, false
+		}
+	}
+	return 0, false
+}
+
+// substVar rewrites every use of vertex variable from -> to in the tree.
+func substVar(body []*Node, from, to int) {
+	for _, n := range body {
+		if n.Kind == KLoop && n.Var == from {
+			// Shadowing cannot occur: loop vars are unique by
+			// construction, so this is just defensive.
+			continue
+		}
+		switch n.Kind {
+		case KSetDef:
+			switch n.Op {
+			case OpNeighbors, OpRemove, OpTrimAbove, OpTrimBelow, OpFilterLabelOfVar, OpFilterLabelNotOfVar:
+				if n.V == from {
+					n.V = to
+				}
+			}
+		case KScalarDef:
+			switch n.SOp {
+			case SCountAbove, SCountBelow:
+				if n.V == from {
+					n.V = to
+				}
+			}
+		case KHashInc, KHashGet, KEmit:
+			for i, k := range n.Keys {
+				if k == from {
+					n.Keys[i] = to
+				}
+			}
+		}
+		if len(n.Body) > 0 {
+			substVar(n.Body, from, to)
+		}
+	}
+}
+
+// FuseAll alternates CSE (to alias identical candidate-set definitions
+// across source programs) and loop fusion until fixpoint, then cleans up
+// with the full optimizer. Returns the total number of fused loops.
+func FuseAll(p *Program) int {
+	total := 0
+	for i := 0; i < 10; i++ {
+		CSE(p)
+		f := FuseSiblingLoops(p)
+		total += f
+		if f == 0 {
+			break
+		}
+	}
+	Optimize(p)
+	return total
+}
+
+// Concat appends the body of src to dst, renumbering src's registers
+// past dst's. It returns offsets for src's globals and tables so callers
+// can locate src's accumulators in the merged program.
+func Concat(dst, src *Program) (globalOff, tableOff int) {
+	off := regOffsets{
+		vars:    dst.NumVars,
+		sets:    dst.NumSets,
+		scalars: dst.NumScalars,
+		globals: dst.NumGlobals,
+		tables:  dst.NumTables,
+	}
+	clone := Clone(src.Root)
+	renumber(clone, off)
+	dst.Root.Body = append(dst.Root.Body, clone.Body...)
+	dst.NumVars += src.NumVars
+	dst.NumSets += src.NumSets
+	dst.NumScalars += src.NumScalars
+	dst.NumGlobals += src.NumGlobals
+	dst.NumTables += src.NumTables
+	if src.MaxKey > dst.MaxKey {
+		dst.MaxKey = src.MaxKey
+	}
+	dst.TableWidths = append(dst.TableWidths, src.TableWidths...)
+	return off.globals, off.tables
+}
+
+type regOffsets struct {
+	vars, sets, scalars, globals, tables int
+}
+
+func renumber(n *Node, off regOffsets) {
+	switch n.Kind {
+	case KLoop:
+		n.Var += off.vars
+		n.Over += off.sets
+	case KSetDef:
+		n.Dst += off.sets
+		switch n.Op {
+		case OpNeighbors:
+			n.V += off.vars
+		case OpIntersect, OpSubtract:
+			n.A += off.sets
+			n.B += off.sets
+		case OpRemove, OpTrimAbove, OpTrimBelow:
+			n.A += off.sets
+			n.V += off.vars
+		case OpCopy, OpFilterLabel:
+			n.A += off.sets
+		case OpFilterLabelOfVar, OpFilterLabelNotOfVar:
+			n.A += off.sets
+			n.V += off.vars
+		}
+	case KScalarDef:
+		n.Dst += off.scalars
+		switch n.SOp {
+		case SSize:
+			n.A += off.sets
+		case SMul, SDiv, SSub, SAdd:
+			n.SA += off.scalars
+			n.SB += off.scalars
+		case SCountAbove, SCountBelow:
+			n.A += off.sets
+			n.V += off.vars
+		}
+	case KScalarReset:
+		n.Dst += off.scalars
+	case KScalarAccum:
+		n.Dst += off.scalars
+		n.SA += off.scalars
+	case KGlobalAdd:
+		n.Dst += off.globals
+		n.SA += off.scalars
+	case KHashClear:
+		n.Table += off.tables
+	case KHashInc:
+		n.Table += off.tables
+		for i := range n.Keys {
+			n.Keys[i] += off.vars
+		}
+	case KHashGet:
+		n.Dst += off.scalars
+		n.Table += off.tables
+		for i := range n.Keys {
+			n.Keys[i] += off.vars
+		}
+	case KCondPos:
+		n.SA += off.scalars
+	case KEmit:
+		n.SA += off.scalars
+		for i := range n.Keys {
+			n.Keys[i] += off.vars
+		}
+	}
+	for _, c := range n.Body {
+		renumber(c, off)
+	}
+}

@@ -1,0 +1,157 @@
+package baseline
+
+import (
+	"testing"
+
+	"decomine/internal/graph"
+	"decomine/internal/pattern"
+)
+
+// bruteVertexInduced counts vertex-induced embeddings of pat by explicit
+// subset enumeration.
+func bruteVertexInduced(g *graph.Graph, pat *pattern.Pattern) int64 {
+	k := pat.NumVertices()
+	n := g.NumVertices()
+	var cnt int64
+	sub := make([]uint32, 0, k)
+	var rec func(start int)
+	rec = func(start int) {
+		if len(sub) == k {
+			p := pattern.New(k)
+			for i := 0; i < k; i++ {
+				for j := i + 1; j < k; j++ {
+					if g.HasEdge(sub[i], sub[j]) {
+						p.AddEdge(i, j)
+					}
+				}
+			}
+			if p.Connected() && pattern.Isomorphic(p, pat) {
+				cnt++
+			}
+			return
+		}
+		for v := start; v < n; v++ {
+			sub = append(sub, uint32(v))
+			rec(v + 1)
+			sub = sub[:len(sub)-1]
+		}
+	}
+	rec(0)
+	return cnt
+}
+
+func TestObliviousCensusMatchesBrute(t *testing.T) {
+	g := graph.GNP(30, 0.2, 55)
+	for _, k := range []int{3, 4} {
+		census := ObliviousMotifCensus(g, k)
+		var censusTotal int64
+		for _, c := range census {
+			censusTotal += c
+		}
+		var bruteTotal int64
+		for _, p := range pattern.ConnectedPatterns(k) {
+			want := bruteVertexInduced(g, p)
+			bruteTotal += want
+			if got := census[p.Canonical()]; got != want {
+				t.Errorf("k=%d %s: census %d, brute %d", k, p, got, want)
+			}
+		}
+		if censusTotal != bruteTotal {
+			t.Errorf("k=%d: census total %d, brute total %d", k, censusTotal, bruteTotal)
+		}
+	}
+}
+
+func TestObliviousPatternCount(t *testing.T) {
+	g := graph.GNP(35, 0.18, 56)
+	p := pattern.Cycle(4)
+	want := bruteVertexInduced(g, p)
+	got, err := ObliviousPatternCount(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("C4 vertex-induced: %d vs %d", got, want)
+	}
+	if _, err := ObliviousPatternCount(g, pattern.MustParse("0-1,2-3")); err == nil {
+		t.Fatal("disconnected pattern should error")
+	}
+}
+
+// bruteEdgeInducedEmb counts edge-induced embeddings (subgraphs).
+func bruteEdgeInducedEmb(g *graph.Graph, pat *pattern.Pattern) int64 {
+	// injective tuples / |Aut|
+	n := pat.NumVertices()
+	bound := make([]uint32, n)
+	var cnt int64
+	var rec func(i int)
+	rec = func(i int) {
+		if i == n {
+			cnt++
+			return
+		}
+		for v := 0; v < g.NumVertices(); v++ {
+			x := uint32(v)
+			ok := true
+			for j := 0; j < i; j++ {
+				if bound[j] == x || (pat.HasEdge(i, j) && !g.HasEdge(x, bound[j])) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				bound[i] = x
+				rec(i + 1)
+			}
+		}
+	}
+	rec(0)
+	return cnt / pat.AutomorphismCount()
+}
+
+func TestObliviousEdgeInducedCount(t *testing.T) {
+	g := graph.GNP(30, 0.2, 57)
+	for _, p := range []*pattern.Pattern{pattern.Chain(3), pattern.Chain(4), pattern.Cycle(4), pattern.TailedTriangle()} {
+		want := bruteEdgeInducedEmb(g, p)
+		got, err := ObliviousEdgeInducedCount(g, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("%s edge-induced: %d vs %d", p, got, want)
+		}
+	}
+}
+
+func TestNative4MotifsMatchBrute(t *testing.T) {
+	g := graph.GNP(40, 0.18, 58)
+	res := CountNative4Motifs(g)
+	for _, p := range pattern.ConnectedPatterns(4) {
+		want := bruteVertexInduced(g, p)
+		if got := res.VertexInd[p.Canonical()]; got != want {
+			t.Errorf("%s: native %d, brute %d", p, got, want)
+		}
+	}
+	// Cross-check against the oblivious census too.
+	census := ObliviousMotifCensus(g, 4)
+	for code, want := range census {
+		if got := res.VertexInd[code]; got != want {
+			t.Errorf("code %s: native %d, census %d", code, got, want)
+		}
+	}
+	if res.Total() <= 0 {
+		t.Fatal("empty native census")
+	}
+}
+
+func TestNative4MotifsOnSkewedGraph(t *testing.T) {
+	g := graph.RMAT(9, 6, 59) // 512 vertices, heavy skew
+	res := CountNative4Motifs(g)
+	census := ObliviousMotifCensus(g, 4)
+	for _, p := range pattern.ConnectedPatterns(4) {
+		code := p.Canonical()
+		if res.VertexInd[code] != census[code] {
+			t.Errorf("%s: native %d, census %d", p, res.VertexInd[code], census[code])
+		}
+	}
+}

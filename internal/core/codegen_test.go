@@ -1,0 +1,194 @@
+package core
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"decomine/internal/ast"
+	"decomine/internal/cost"
+	"decomine/internal/decomp"
+	"decomine/internal/engine"
+	"decomine/internal/graph"
+	"decomine/internal/pattern"
+)
+
+func TestPlanPseudocodeShape(t *testing.T) {
+	d, err := decomp.Decompose(pattern.Cycle(4), 1<<0|1<<2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := GenerateDecomposed(DefaultOrders(d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ast.Optimize(plan.Prog)
+	code := PlanPseudocode(plan)
+	// Algorithm 1 shape: accumulator reset, product, negative correction.
+	for _, frag := range []string{"for v0", ":= 0", "g0 +=", "-1*"} {
+		if !strings.Contains(code, frag) {
+			t.Errorf("pseudocode missing %q:\n%s", frag, code)
+		}
+	}
+}
+
+func TestGenerateGoSourceDecomposedCompilesAndRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes the go tool")
+	}
+	g := graph.GNP(30, 0.2, 97)
+	p := pattern.Cycle(4)
+	d, err := decomp.Decompose(p, 1<<0|1<<2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := GenerateDecomposed(DefaultOrders(d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ast.Optimize(plan.Prog)
+	src := GenerateGoSource(plan, "main", "CountC4")
+
+	dir := t.TempDir()
+	writeFileOrFatal(t, filepath.Join(dir, "gen.go"), src)
+	var offs, adjs []string
+	offsets := []int64{0}
+	var adj []uint32
+	for v := 0; v < g.NumVertices(); v++ {
+		adj = append(adj, g.Neighbors(uint32(v))...)
+		offsets = append(offsets, int64(len(adj)))
+	}
+	for _, o := range offsets {
+		offs = append(offs, strconv.FormatInt(o, 10))
+	}
+	for _, a := range adj {
+		adjs = append(adjs, strconv.FormatUint(uint64(a), 10))
+	}
+	main := `package main
+
+import "fmt"
+
+func main() {
+	offsets := []int64{` + strings.Join(offs, ",") + `}
+	adj := []uint32{` + strings.Join(adjs, ",") + `}
+	fmt.Println(CountC4(offsets, adj, nil)[0])
+}
+`
+	writeFileOrFatal(t, filepath.Join(dir, "main.go"), main)
+	writeFileOrFatal(t, filepath.Join(dir, "go.mod"), "module gen\n\ngo 1.22\n")
+	cmd := exec.Command("go", "run", ".")
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("generated decomposed code failed: %v\n%s", err, out)
+	}
+	wantTuples := bruteTuples(g, p, false)
+	got := strings.TrimSpace(string(out))
+	if got != strconv.FormatInt(wantTuples, 10) {
+		t.Fatalf("generated code raw count %s, want %d tuples", got, wantTuples)
+	}
+}
+
+func writeFileOrFatal(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeneratePinnedEnumeratesExtensions(t *testing.T) {
+	g := graph.GNP(40, 0.15, 98)
+	p := pattern.Clique(3)
+	// Pin an edge; the pinned plan must count common neighbors.
+	var u, v uint32
+	found := false
+	for x := 0; x < g.NumVertices() && !found; x++ {
+		if nb := g.Neighbors(uint32(x)); len(nb) > 0 {
+			u, v = uint32(x), nb[0]
+			found = true
+		}
+	}
+	if !found {
+		t.Skip("no edges")
+	}
+	plan, err := GeneratePinned(p, []int{0, 1}, []int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ast.Optimize(plan.Prog)
+	got := int64(0)
+	_, err = engine.Run(g, plan.Prog, engine.Options{
+		Threads: 1,
+		Pins:    []uint32{u, v},
+		NewConsumer: func(worker int) engine.Consumer {
+			return engine.ConsumerFunc(func(sub int, verts []uint32, count int64) bool {
+				got++
+				return true
+			})
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count common neighbors directly.
+	var want int64
+	for x := 0; x < g.NumVertices(); x++ {
+		w := uint32(x)
+		if w != u && w != v && g.HasEdge(u, w) && g.HasEdge(v, w) {
+			want++
+		}
+	}
+	if got != want {
+		t.Fatalf("pinned extensions %d, want %d", got, want)
+	}
+}
+
+func TestGeneratePinnedErrors(t *testing.T) {
+	p := pattern.Clique(3)
+	if _, err := GeneratePinned(p, []int{0}, []int{1}); err == nil {
+		t.Fatal("incomplete pin split accepted")
+	}
+	if _, err := GeneratePinned(p, []int{0, 0}, []int{1}); err == nil {
+		t.Fatal("duplicate pin accepted")
+	}
+}
+
+func TestMatchingOrdersRespectsCap(t *testing.T) {
+	p := pattern.Clique(5) // 5! = 120 connected orders
+	if got := len(matchingOrders(p, 10)); got > 10 {
+		t.Fatalf("cap ignored: %d", got)
+	}
+}
+
+func TestExtensionOrdersGreedyDiffers(t *testing.T) {
+	// A subpattern where the greedy (most-constrained-first) order
+	// differs from identity: cut of 1 vertex, extensions with unequal
+	// cut-degrees.
+	pat := pattern.MustParse("0-2,1-2,0-1") // triangle; treat vertex 0 as cut
+	orders := extensionOrders(pat, 1, 2)
+	if len(orders) == 0 {
+		t.Fatal("no orders")
+	}
+	for _, o := range orders {
+		if len(o) != 2 {
+			t.Fatalf("order %v wrong length", o)
+		}
+	}
+}
+
+func TestSearchModelRequired(t *testing.T) {
+	if _, _, err := Search(pattern.Clique(3), SearchOptions{}); err == nil {
+		t.Fatal("search without model accepted")
+	}
+}
+
+func TestSearchRejectsDisconnected(t *testing.T) {
+	g := graph.GNP(20, 0.2, 99)
+	model := cost.NewLocality(cost.StatsOf(g), 0.25)
+	if _, _, err := Search(pattern.MustParse("0-1,2-3"), SearchOptions{Model: model}); err == nil {
+		t.Fatal("disconnected pattern accepted")
+	}
+}

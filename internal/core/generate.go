@@ -1,0 +1,471 @@
+// Package core is DecoMine's compiler: the front-end that generates
+// algorithm ASTs for every (cutting set × matching order) candidate from
+// the generalized decomposition template (paper Alg. 1), the pattern-aware
+// loop rewriting transformation (§7.2), the algorithm search engine that
+// ranks candidates with a cost model (§7.3), and the Go source back-end
+// (§7.4 analogue).
+package core
+
+import (
+	"fmt"
+
+	"decomine/internal/ast"
+	"decomine/internal/decomp"
+	"decomine/internal/pattern"
+)
+
+// Mode selects what the generated program does with matched embeddings.
+type Mode int
+
+const (
+	// ModeCount only accumulates the pattern count (Alg. 1 without lines
+	// 14-21).
+	ModeCount Mode = iota
+	// ModeEmit additionally builds the num_shrinkages table and emits
+	// partial embeddings with their expansion counts (full Alg. 1).
+	ModeEmit
+)
+
+// Plan is a compiled, executable algorithm.
+type Plan struct {
+	Prog *ast.Program
+	// CountGlobal indexes the global accumulator holding the raw count.
+	CountGlobal int
+	// Divisor converts the raw (injective-tuple) count into the
+	// embedding count: |Aut(p)|, or 1 when full symmetry breaking
+	// already canonicalizes.
+	Divisor int64
+	// Kind is "direct" or "decomposed".
+	Kind string
+	// Desc is a human-readable summary of the algorithm choice.
+	Desc string
+	// Decomposition is non-nil for decomposed plans; consumers use it to
+	// interpret emitted partial embeddings (subpattern shapes and the
+	// subpattern-to-whole vertex mappings).
+	Decomposition *decomp.Decomposition
+}
+
+// genCtx carries shared state across the generation of one program.
+type genCtx struct {
+	b       *ast.Builder
+	allReg  int
+	haveAll bool
+	// nbrCache memoizes Neighbors defs per engine var within the current
+	// generation (the optimizer would also CSE them; caching here keeps
+	// naive ASTs small).
+	nbrCache map[int]int
+}
+
+func newGenCtx(b *ast.Builder) *genCtx {
+	return &genCtx{b: b, nbrCache: map[int]int{}}
+}
+
+func (g *genCtx) all() int {
+	if !g.haveAll {
+		g.allReg = g.b.All()
+		g.haveAll = true
+	}
+	return g.allReg
+}
+
+// bindVar registers an eager N(v) definition for a freshly bound vertex
+// variable. Neighbor sets are defined at the variable's binding scope —
+// never inside a deeper sibling loop — so every later use reads a live
+// register regardless of how many iterations intervening loops execute.
+// OpNeighbors aliases the CSR row at runtime (zero cost), so the eager
+// definition is free; DCE removes it when unused.
+func (g *genCtx) bindVar(v int) {
+	g.nbrCache[v] = g.b.Neighbors(v)
+}
+
+func (g *genCtx) neighbors(v int) int {
+	r, ok := g.nbrCache[v]
+	if !ok {
+		panic(fmt.Sprintf("core: neighbors of unbound var v%d", v))
+	}
+	return r
+}
+
+// candidateOpts configures buildCandidate.
+type candidateOpts struct {
+	induced      bool                  // vertex-induced: subtract non-neighbor sets
+	restrictions []pattern.Restriction // symmetry-breaking order constraints
+	// sameLabelVars / diffLabelVars are engine vars whose labels the
+	// candidate must match / avoid (label constraints, §7.5).
+	sameLabelVars []int
+	diffLabelVars []int
+}
+
+// ConstraintKind discriminates label constraints.
+type ConstraintKind int
+
+const (
+	// AllSame requires every listed pattern vertex to map to vertices
+	// with equal labels.
+	AllSame ConstraintKind = iota
+	// AllDifferent requires pairwise distinct labels.
+	AllDifferent
+)
+
+// LabelConstraint is a sub-constraint F_i(e_i) over whole-pattern
+// vertices (paper §7.5): the conjunction of all constraints must hold for
+// an embedding to count.
+type LabelConstraint struct {
+	Kind  ConstraintKind
+	Verts []int
+}
+
+// constraintFilters computes, for whole-pattern vertex w about to be
+// enumerated, the dynamic label filters implied by the constraints, given
+// boundVar: whole-pattern vertex -> engine var (-1 unbound). For AllSame
+// one bound witness suffices; for AllDifferent every bound member
+// contributes a filter.
+func constraintFilters(constraints []LabelConstraint, w int, boundVar func(int) int) (same, diff []int) {
+	for _, c := range constraints {
+		member := false
+		for _, v := range c.Verts {
+			if v == w {
+				member = true
+				break
+			}
+		}
+		if !member {
+			continue
+		}
+		for _, v := range c.Verts {
+			if v == w {
+				continue
+			}
+			bv := boundVar(v)
+			if bv < 0 {
+				continue
+			}
+			if c.Kind == AllSame {
+				same = append(same, bv)
+				break // one witness pins the label
+			}
+			diff = append(diff, bv)
+		}
+	}
+	return same, diff
+}
+
+// ConstraintAutomorphismCount returns the number of automorphisms of p
+// that preserve the constraint structure (mapping each constraint's
+// vertex set onto a same-kind constraint's vertex set). This is the
+// multiplicity divisor for constrained queries.
+func ConstraintAutomorphismCount(p *pattern.Pattern, constraints []LabelConstraint) int64 {
+	sets := make([]uint32, len(constraints))
+	for i, c := range constraints {
+		for _, v := range c.Verts {
+			sets[i] |= 1 << uint(v)
+		}
+	}
+	var cnt int64
+	for _, sigma := range p.Automorphisms() {
+		ok := true
+		for _, c := range constraints {
+			var img uint32
+			for _, v := range c.Verts {
+				img |= 1 << uint(sigma[v])
+			}
+			found := false
+			for j, c2 := range constraints {
+				if c2.Kind == c.Kind && sets[j] == img {
+					found = true
+					break
+				}
+			}
+			if !found {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			cnt++
+		}
+	}
+	if cnt == 0 {
+		cnt = 1
+	}
+	return cnt
+}
+
+// ConstraintsDecomposable reports whether every constraint's vertices fit
+// within the cutting set plus a single component — the condition under
+// which the decomposition can resolve the constraints on partially
+// materialized embeddings (§7.5). When false the system must fall back
+// to a non-decomposition method.
+func ConstraintsDecomposable(cutMask uint32, comps []uint32, constraints []LabelConstraint) bool {
+	for _, c := range constraints {
+		var mask uint32
+		for _, v := range c.Verts {
+			mask |= 1 << uint(v)
+		}
+		ext := mask &^ cutMask
+		if ext == 0 {
+			continue
+		}
+		inOne := false
+		for _, comp := range comps {
+			if ext&^comp == 0 {
+				inOne = true
+				break
+			}
+		}
+		if !inOne {
+			return false
+		}
+	}
+	return true
+}
+
+// buildCandidate emits the candidate-set computation for pattern vertex
+// pv of pat, given bind (pattern vertex -> engine var, -1 if unbound).
+// It returns the candidate set register and the LoopMeta describing the
+// prefix pattern (bound vertices plus pv).
+func buildCandidate(g *genCtx, pat *pattern.Pattern, pv int, bind []int, opts candidateOpts) (int, *ast.LoopMeta) {
+	b := g.b
+	meta := &ast.LoopMeta{}
+	cand := -1
+	boundVerts := []int{}
+	for u := 0; u < pat.NumVertices(); u++ {
+		if bind[u] >= 0 && u != pv {
+			boundVerts = append(boundVerts, u)
+		}
+	}
+	// 1. Intersect neighbor lists of bound pattern-neighbors.
+	for _, u := range boundVerts {
+		if !pat.HasEdge(u, pv) {
+			continue
+		}
+		ns := g.neighbors(bind[u])
+		if cand < 0 {
+			cand = ns
+		} else {
+			cand = b.Intersect(cand, ns)
+		}
+		meta.Constraints++
+	}
+	if cand < 0 {
+		cand = g.all()
+	}
+	// 2. Vertex-induced: exclude neighbors of bound non-neighbors.
+	if opts.induced {
+		for _, u := range boundVerts {
+			if pat.HasEdge(u, pv) {
+				continue
+			}
+			cand = b.Subtract(cand, g.neighbors(bind[u]))
+			meta.Subtractions++
+		}
+	}
+	// 3. Label constraints: static per-vertex labels plus dynamic
+	// same/different-label filters from group constraints.
+	if l := pat.Label(pv); l != pattern.NoLabel {
+		cand = b.FilterLabel(cand, l)
+	}
+	for _, v := range opts.sameLabelVars {
+		cand = b.FilterLabelOfVar(cand, v)
+	}
+	for _, v := range opts.diffLabelVars {
+		cand = b.FilterLabelNotOfVar(cand, v)
+	}
+	// 4. Symmetry-breaking trims. Track which bound vertices the trims
+	// already exclude (x > v and x < v both exclude v itself).
+	trimmed := map[int]bool{}
+	for _, r := range opts.restrictions {
+		if r.Greater == pv && bind[r.Less] >= 0 {
+			cand = b.TrimBelow(cand, bind[r.Less])
+			trimmed[r.Less] = true
+			meta.Trimmed = true
+		}
+		if r.Less == pv && bind[r.Greater] >= 0 {
+			cand = b.TrimAbove(cand, bind[r.Greater])
+			trimmed[r.Greater] = true
+			meta.Trimmed = true
+		}
+	}
+	// 5. Distinctness: candidates intersected with N(u) already exclude
+	// u; remove the remaining bound vertices explicitly.
+	for _, u := range boundVerts {
+		if pat.HasEdge(u, pv) || trimmed[u] {
+			continue
+		}
+		cand = b.Remove(cand, bind[u])
+	}
+	// Prefix metadata for the cost models.
+	prefixVerts := append(append([]int(nil), boundVerts...), pv)
+	prefix := pat.InducedSub(prefixVerts)
+	if prefix.Connected() && prefix.NumVertices() >= 1 {
+		meta.Prefix = prefix
+		meta.PrefixCode = prefix.Canonical()
+	}
+	return cand, meta
+}
+
+// DirectSpec describes a non-decomposed (AutoMine-style) algorithm.
+type DirectSpec struct {
+	Pattern *pattern.Pattern
+	// Order is the pattern-vertex matching order (a permutation of
+	// 0..n-1).
+	Order []int
+	// SymmetryBreak enables full symmetry-breaking restrictions.
+	SymmetryBreak bool
+	// Induced enumerates vertex-induced embeddings directly.
+	Induced bool
+	// Constraints are group label constraints (§7.5); they disable
+	// symmetry breaking implicitly when they break pattern symmetry, so
+	// callers should pass SymmetryBreak=false unless the constraints are
+	// symmetric under Aut(p).
+	Constraints []LabelConstraint
+	// CountLastLoop replaces the innermost loop by a set-size count
+	// (GraphPi's "mathematical" counting optimization; only in ModeCount).
+	CountLastLoop bool
+	Mode          Mode
+}
+
+// GenerateDirect builds the nested-loop enumeration program for a
+// pattern without decomposition.
+func GenerateDirect(spec DirectSpec) (*Plan, error) {
+	p := spec.Pattern
+	n := p.NumVertices()
+	if len(spec.Order) != n {
+		return nil, fmt.Errorf("core: order length %d for %d-pattern", len(spec.Order), n)
+	}
+	if err := checkPerm(spec.Order, n); err != nil {
+		return nil, err
+	}
+	b := ast.NewBuilder(0)
+	g := newGenCtx(b)
+	g.all() // define V at root scope so every worker frame sees it
+	cnt := b.NewGlobal()
+	var restr []pattern.Restriction
+	divisor := p.AutomorphismCount()
+	if len(spec.Constraints) > 0 {
+		divisor = ConstraintAutomorphismCount(p, spec.Constraints)
+	}
+	if spec.SymmetryBreak && len(spec.Constraints) == 0 {
+		restr = p.SymmetryBreaking()
+		divisor = 1
+	}
+	bind := make([]int, n)
+	for i := range bind {
+		bind[i] = -1
+	}
+	opts := candidateOpts{induced: spec.Induced, restrictions: restr}
+
+	var emitLevel func(i int)
+	emitLevel = func(i int) {
+		pv := spec.Order[i]
+		last := i == n-1
+		if last && spec.Mode == ModeCount && spec.CountLastLoop {
+			clOpts := opts
+			clOpts.sameLabelVars, clOpts.diffLabelVars = constraintFilters(spec.Constraints, pv, func(u int) int { return bind[u] })
+			cand, _ := buildCandidate(g, p, pv, bind, clOpts)
+			x := b.Size(cand)
+			b.GlobalAdd(cnt, x, 1)
+			return
+		}
+		lopts := opts
+		lopts.sameLabelVars, lopts.diffLabelVars = constraintFilters(spec.Constraints, pv, func(u int) int { return bind[u] })
+		cand, meta := buildCandidate(g, p, pv, bind, lopts)
+		v := b.BeginLoop(cand, meta)
+		bind[pv] = v
+		g.bindVar(v)
+		if last {
+			one := b.Const(1)
+			if spec.Mode == ModeEmit {
+				keys := make([]int, n)
+				for u := 0; u < n; u++ {
+					keys[u] = bind[u]
+				}
+				b.Emit(0, keys, one)
+			}
+			b.GlobalAdd(cnt, one, 1)
+		} else {
+			emitLevel(i + 1)
+		}
+		bind[pv] = -1
+		b.EndLoop()
+	}
+	emitLevel(0)
+	prog := b.Finish()
+	return &Plan{
+		Prog:        prog,
+		CountGlobal: cnt,
+		Divisor:     divisor,
+		Kind:        "direct",
+		Desc:        fmt.Sprintf("direct order=%v sb=%v induced=%v", spec.Order, spec.SymmetryBreak, spec.Induced),
+	}, nil
+}
+
+// GeneratePinned builds a whole-embedding enumeration plan in which the
+// `pinned` pattern vertices are preloaded into engine variables 0..k-1
+// (in the order given) and the `rest` are enumerated by nested loops.
+// Each complete injective extension is emitted once as subpattern 0 with
+// the full vertex tuple ordered by whole-pattern vertex ID and count 1.
+// Used by the materialize API.
+func GeneratePinned(p *pattern.Pattern, pinned, rest []int) (*Plan, error) {
+	n := p.NumVertices()
+	if len(pinned)+len(rest) != n {
+		return nil, fmt.Errorf("core: pin split %v/%v does not cover %d vertices", pinned, rest, n)
+	}
+	if err := checkPerm(append(append([]int(nil), pinned...), rest...), n); err != nil {
+		return nil, err
+	}
+	b := ast.NewBuilder(len(pinned))
+	g := newGenCtx(b)
+	g.all()
+	for i := range pinned {
+		g.bindVar(i) // eager N(pin) at root scope
+	}
+	cnt := b.NewGlobal()
+	bind := make([]int, n)
+	for i := range bind {
+		bind[i] = -1
+	}
+	for i, w := range pinned {
+		bind[w] = i
+	}
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(rest) {
+			keys := make([]int, n)
+			for v := 0; v < n; v++ {
+				keys[v] = bind[v]
+			}
+			one := b.Const(1)
+			b.Emit(0, keys, one)
+			b.GlobalAdd(cnt, one, 1)
+			return
+		}
+		pv := rest[i]
+		cand, meta := buildCandidate(g, p, pv, bind, candidateOpts{})
+		v := b.BeginLoop(cand, meta)
+		bind[pv] = v
+		g.bindVar(v)
+		rec(i + 1)
+		bind[pv] = -1
+		b.EndLoop()
+	}
+	rec(0)
+	return &Plan{
+		Prog:        b.Finish(),
+		CountGlobal: cnt,
+		Divisor:     1,
+		Kind:        "pinned",
+		Desc:        fmt.Sprintf("pinned %v, enumerate %v", pinned, rest),
+	}, nil
+}
+
+func checkPerm(order []int, n int) error {
+	seen := make([]bool, n)
+	for _, v := range order {
+		if v < 0 || v >= n || seen[v] {
+			return fmt.Errorf("core: invalid matching order %v", order)
+		}
+		seen[v] = true
+	}
+	return nil
+}

@@ -1,0 +1,51 @@
+package core
+
+import (
+	"fmt"
+
+	"decomine/internal/ast"
+)
+
+// MergedPlan is several plans concatenated into one program with
+// cross-pattern computation reuse (paper Optimization 2, Figure 5):
+// after concatenation, CSE unifies identical candidate-set definitions
+// across the source plans and loop fusion merges the loops that iterate
+// them, so shared matching-process prefixes execute once.
+type MergedPlan struct {
+	Prog *ast.Program
+	// CountGlobals[i] and Divisors[i] locate plan i's result in the
+	// merged program's globals.
+	CountGlobals []int
+	Divisors     []int64
+	// FusedLoops reports how many loops the reuse pass merged (0 means
+	// the plans shared nothing).
+	FusedLoops int
+}
+
+// MergePlans concatenates count-mode plans and applies the reuse pass.
+// Emission-mode plans are rejected: interleaving their hash-table
+// epochs would require per-plan table isolation that the fusion pass
+// does not attempt.
+func MergePlans(plans []*Plan) (*MergedPlan, error) {
+	if len(plans) == 0 {
+		return nil, fmt.Errorf("core: no plans to merge")
+	}
+	for _, p := range plans {
+		if p.Prog.NumTables > 0 {
+			return nil, fmt.Errorf("core: cannot merge emission-mode plans")
+		}
+		if p.Prog.NumPinned > 0 {
+			return nil, fmt.Errorf("core: cannot merge pinned plans")
+		}
+	}
+	merged := &MergedPlan{}
+	prog := &ast.Program{Root: &ast.Node{Kind: ast.KRoot}}
+	for _, p := range plans {
+		globalOff, _ := ast.Concat(prog, p.Prog)
+		merged.CountGlobals = append(merged.CountGlobals, globalOff+p.CountGlobal)
+		merged.Divisors = append(merged.Divisors, p.Divisor)
+	}
+	merged.FusedLoops = ast.FuseAll(prog)
+	merged.Prog = prog
+	return merged, nil
+}

@@ -1,0 +1,384 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+	"sort"
+
+	"decomine/internal/ast"
+	"decomine/internal/cost"
+	"decomine/internal/decomp"
+	"decomine/internal/pattern"
+)
+
+// SearchOptions configures the algorithm search (paper §7.3).
+type SearchOptions struct {
+	// Model ranks candidate ASTs. Required.
+	Model cost.Model
+	Mode  Mode
+	// Induced searches direct vertex-induced plans instead of
+	// edge-induced ones (decomposition candidates are skipped: the
+	// decomposition algebra is edge-induced; the vertex-induced
+	// conversion happens in the application layer).
+	Induced bool
+	// DisableDecomposition restricts the search to direct plans — the
+	// AutoMine-style baseline configuration.
+	DisableDecomposition bool
+	// DisableDirect restricts the search to decomposition plans.
+	DisableDirect bool
+	// DisablePLR turns off pattern-aware loop rewriting candidates.
+	DisablePLR bool
+	// DisableOptimize skips LICM/CSE/DCE (ablation).
+	DisableOptimize bool
+	// DisableCountLastLoop turns off the last-loop set-size counting
+	// optimization (GraphPi's "mathematical" optimization); used to model
+	// baselines that lack it.
+	DisableCountLastLoop bool
+	// MaxCandidates caps the number of costed ASTs (0 = 600).
+	MaxCandidates int
+	// MaxOrdersPerChoice caps matching-order variants per structure
+	// choice (0 = 24).
+	MaxOrdersPerChoice int
+	// Constraints restricts counting to embeddings satisfying the group
+	// label constraints (§7.5). Decomposition candidates that cannot
+	// resolve the constraints are skipped automatically.
+	Constraints []LabelConstraint
+	// Mode ModeEmit additionally requires partial-embedding emission.
+}
+
+// Candidate pairs a generated plan with its estimated cost.
+type Candidate struct {
+	Plan *Plan
+	Cost float64
+}
+
+// Search generates the candidate space for p, costs every candidate, and
+// returns the best plan plus the full ranked candidate list.
+func Search(p *pattern.Pattern, opts SearchOptions) (*Candidate, []Candidate, error) {
+	if opts.Model == nil {
+		return nil, nil, fmt.Errorf("core: search requires a cost model")
+	}
+	maxCand := opts.MaxCandidates
+	if maxCand == 0 {
+		maxCand = 600
+	}
+	maxOrders := opts.MaxOrdersPerChoice
+	if maxOrders == 0 {
+		maxOrders = 24
+	}
+	if !p.Connected() {
+		return nil, nil, fmt.Errorf("core: pattern %s is not connected", p)
+	}
+
+	var cands []Candidate
+	add := func(plan *Plan, err error) {
+		if err != nil || len(cands) >= maxCand {
+			return
+		}
+		if !opts.DisableOptimize {
+			ast.Optimize(plan.Prog)
+		}
+		cands = append(cands, Candidate{Plan: plan, Cost: opts.Model.Cost(plan.Prog)})
+	}
+
+	// Direct plans.
+	if !opts.DisableDirect {
+		for _, order := range matchingOrders(p, maxOrders) {
+			add(GenerateDirect(DirectSpec{
+				Pattern: p,
+				Order:   order,
+				// Emission mode must deliver every matching (the
+				// completeness property): symmetry breaking would hide
+				// the non-canonical ones.
+				SymmetryBreak: len(opts.Constraints) == 0 && opts.Mode == ModeCount,
+				Induced:       opts.Induced,
+				CountLastLoop: opts.Mode == ModeCount && !opts.DisableCountLastLoop,
+				Constraints:   opts.Constraints,
+				Mode:          opts.Mode,
+			}))
+		}
+	}
+
+	// Decomposition plans (edge-induced only).
+	if !opts.DisableDecomposition && !opts.Induced {
+		cuts := decomp.CuttingSets(p)
+		sortCuts(p, cuts)
+		for _, cut := range cuts {
+			if len(cands) >= maxCand {
+				break
+			}
+			d, err := decomp.Decompose(p, cut)
+			if err != nil {
+				continue
+			}
+			for _, spec := range decompSpecs(d, opts, maxOrders) {
+				add(GenerateDecomposed(spec))
+			}
+		}
+	}
+
+	if len(cands) == 0 {
+		return nil, nil, fmt.Errorf("core: no candidates for %s", p)
+	}
+	sort.SliceStable(cands, func(i, j int) bool { return cands[i].Cost < cands[j].Cost })
+	best := cands[0]
+	return &best, cands, nil
+}
+
+// sortCuts orders cutting sets: smaller cuts first, then by component
+// balance (balanced splits give smaller subpatterns).
+func sortCuts(p *pattern.Pattern, cuts []uint32) {
+	score := func(cut uint32) (int, int) {
+		comps := p.ComponentsAvoiding(cut)
+		maxC := 0
+		for _, c := range comps {
+			if n := bits.OnesCount32(c); n > maxC {
+				maxC = n
+			}
+		}
+		return bits.OnesCount32(cut), maxC
+	}
+	sort.SliceStable(cuts, func(i, j int) bool {
+		si, mi := score(cuts[i])
+		sj, mj := score(cuts[j])
+		if mi != mj {
+			return mi < mj // smaller largest-component first
+		}
+		if si != sj {
+			return si < sj
+		}
+		return cuts[i] < cuts[j]
+	})
+}
+
+// matchingOrders enumerates connected matching orders of p, up to max.
+// For small patterns this is every connected permutation; for larger
+// ones a deterministic degree-guided sample.
+func matchingOrders(p *pattern.Pattern, max int) [][]int {
+	n := p.NumVertices()
+	var out [][]int
+	perm := make([]int, 0, n)
+	used := make([]bool, n)
+	var rec func()
+	rec = func() {
+		if len(out) >= max {
+			return
+		}
+		if len(perm) == n {
+			out = append(out, append([]int(nil), perm...))
+			return
+		}
+		for v := 0; v < n; v++ {
+			if used[v] {
+				continue
+			}
+			// Connectivity: every vertex after the first must touch an
+			// earlier one (otherwise the loop candidate is all of V).
+			if len(perm) > 0 {
+				adj := false
+				for _, u := range perm {
+					if p.HasEdge(u, v) {
+						adj = true
+						break
+					}
+				}
+				if !adj {
+					continue
+				}
+			}
+			used[v] = true
+			perm = append(perm, v)
+			rec()
+			perm = perm[:len(perm)-1]
+			used[v] = false
+		}
+	}
+	rec()
+	if len(out) == 0 { // disconnected pattern: identity fallback
+		out = append(out, iota_(n))
+	}
+	return out
+}
+
+// decompSpecs enumerates matching-order variants for one decomposition:
+// cut orders × PLR depths, with extension orders chosen per subpattern
+// (identity plus a degree-greedy order).
+func decompSpecs(d *decomp.Decomposition, opts SearchOptions, maxOrders int) []DecompSpec {
+	nCut := len(d.CutVerts)
+	var cutOrders [][]int
+	if nCut <= 4 {
+		cutOrders = permutations(nCut)
+	} else {
+		cutOrders = append(cutOrders, iota_(nCut))
+		r := rand.New(rand.NewSource(int64(nCut)*7919 + int64(d.CutMask)))
+		for i := 0; i < 6; i++ {
+			cutOrders = append(cutOrders, r.Perm(nCut))
+		}
+	}
+	if len(cutOrders) > maxOrders {
+		cutOrders = cutOrders[:maxOrders]
+	}
+
+	subOrders := make([][][]int, len(d.Subpatterns))
+	for i, sp := range d.Subpatterns {
+		subOrders[i] = extensionOrders(sp.Pat, nCut, 2)
+	}
+	shrinkOrders := make([][]int, len(d.Shrinkages))
+	for j, s := range d.Shrinkages {
+		shrinkOrders[j] = extensionOrders(s.Pat, nCut, 1)[0]
+	}
+
+	var specs []DecompSpec
+	for _, co := range cutOrders {
+		plrDepths := []int{0}
+		if !opts.DisablePLR {
+			for k := 2; k <= nCut; k++ {
+				plrDepths = append(plrDepths, k)
+			}
+		}
+		// Cross subpattern-order variants (small: <= 2 per subpattern).
+		for _, plr := range plrDepths {
+			for variant := 0; variant < 2; variant++ {
+				spec := DecompSpec{
+					D:            d,
+					CutOrder:     co,
+					PLRDepth:     plr,
+					Mode:         opts.Mode,
+					Constraints:  opts.Constraints,
+					ShrinkOrders: shrinkOrders,
+				}
+				ok := true
+				for i := range d.Subpatterns {
+					so := subOrders[i]
+					if variant < len(so) {
+						spec.SubOrders = append(spec.SubOrders, so[variant])
+					} else if variant == 1 && len(so) == 1 {
+						ok = false // no second variant anywhere: skip dup
+						break
+					} else {
+						spec.SubOrders = append(spec.SubOrders, so[0])
+					}
+				}
+				if ok {
+					specs = append(specs, spec)
+				}
+			}
+		}
+	}
+	return specs
+}
+
+// permutations returns all permutations of 0..n-1.
+func permutations(n int) [][]int {
+	var out [][]int
+	perm := iota_(n)
+	var rec func(k int)
+	rec = func(k int) {
+		if k == n {
+			out = append(out, append([]int(nil), perm...))
+			return
+		}
+		for i := k; i < n; i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			rec(k + 1)
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+	}
+	rec(0)
+	return out
+}
+
+// extensionOrders returns up to max extension orders (offsets past the
+// cut prefix) for a sub/shrinkage pattern: identity and a degree-greedy
+// order (most-constrained-first).
+func extensionOrders(pat *pattern.Pattern, nCut, max int) [][]int {
+	nExt := pat.NumVertices() - nCut
+	orders := [][]int{iota_(nExt)}
+	if max < 2 || nExt < 2 {
+		return orders
+	}
+	greedy := make([]int, 0, nExt)
+	used := make([]bool, nExt)
+	for len(greedy) < nExt {
+		best, bestDeg := -1, -1
+		for e := 0; e < nExt; e++ {
+			if used[e] {
+				continue
+			}
+			deg := 0
+			pv := nCut + e
+			for j := 0; j < nCut; j++ {
+				if pat.HasEdge(pv, j) {
+					deg++
+				}
+			}
+			for _, ge := range greedy {
+				if pat.HasEdge(pv, nCut+ge) {
+					deg++
+				}
+			}
+			if deg > bestDeg {
+				best, bestDeg = e, deg
+			}
+		}
+		greedy = append(greedy, best)
+		used[best] = true
+	}
+	same := true
+	for i := range greedy {
+		if greedy[i] != orders[0][i] {
+			same = false
+			break
+		}
+	}
+	if !same {
+		orders = append(orders, greedy)
+	}
+	return orders
+}
+
+// RandomSpec draws one uniformly random implementation choice for p: a
+// random cutting set (or none), random matching orders, random PLR. Used
+// by the cost-model evaluation experiment (Figure 11b).
+func RandomSpec(p *pattern.Pattern, mode Mode, r *rand.Rand) (*Plan, error) {
+	cuts := decomp.CuttingSets(p)
+	if len(cuts) > 0 && r.Intn(4) != 0 { // 3/4 decomposed, 1/4 direct
+		cut := cuts[r.Intn(len(cuts))]
+		d, err := decomp.Decompose(p, cut)
+		if err != nil {
+			return nil, err
+		}
+		spec := DecompSpec{D: d, Mode: mode}
+		spec.CutOrder = r.Perm(len(d.CutVerts))
+		for _, sp := range d.Subpatterns {
+			spec.SubOrders = append(spec.SubOrders, r.Perm(sp.Pat.NumVertices()-len(d.CutVerts)))
+		}
+		for _, s := range d.Shrinkages {
+			spec.ShrinkOrders = append(spec.ShrinkOrders, r.Perm(s.Pat.NumVertices()-len(d.CutVerts)))
+		}
+		if len(d.CutVerts) >= 2 && r.Intn(2) == 0 {
+			spec.PLRDepth = 2 + r.Intn(len(d.CutVerts)-1)
+		}
+		plan, err := GenerateDecomposed(spec)
+		if err != nil {
+			return nil, err
+		}
+		ast.Optimize(plan.Prog)
+		return plan, nil
+	}
+	orders := matchingOrders(p, 1000)
+	order := orders[r.Intn(len(orders))]
+	plan, err := GenerateDirect(DirectSpec{
+		Pattern:       p,
+		Order:         order,
+		SymmetryBreak: true,
+		CountLastLoop: mode == ModeCount,
+		Mode:          mode,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ast.Optimize(plan.Prog)
+	return plan, nil
+}

@@ -1,0 +1,252 @@
+// Package cost implements DecoMine's three cost models (paper §6): the
+// AutoMine-style random-graph model, the locality-aware model, and the
+// approximate-mining based model backed by a sampled pattern-count
+// profile. A model assigns an estimated execution cost to a compiled AST;
+// the algorithm search engine ranks candidate plans by this number, so
+// only relative accuracy matters.
+package cost
+
+import (
+	"math"
+
+	"decomine/internal/ast"
+	"decomine/internal/graph"
+	"decomine/internal/sampling"
+)
+
+// GraphStats summarizes the input graph for the analytic models.
+type GraphStats struct {
+	N      float64 // |V|
+	AvgDeg float64 // 2|E|/|V|
+	Labels float64 // number of distinct labels (1 if unlabeled)
+}
+
+// P returns the uniform connection probability AvgDeg/N used by the
+// AutoMine model.
+func (s GraphStats) P() float64 {
+	if s.N == 0 {
+		return 0
+	}
+	return s.AvgDeg / s.N
+}
+
+// StatsOf derives GraphStats from a graph.
+func StatsOf(g *graph.Graph) GraphStats {
+	labels := float64(g.NumLabels())
+	if labels < 1 {
+		labels = 1
+	}
+	return GraphStats{N: float64(g.NumVertices()), AvgDeg: g.AvgDegree(), Labels: labels}
+}
+
+// Model estimates plan execution cost.
+type Model interface {
+	Name() string
+	Cost(prog *ast.Program) float64
+}
+
+// ---- AutoMine random-graph model ----
+
+type autoMine struct{ st GraphStats }
+
+// NewAutoMine returns the baseline model: a random graph with n vertices
+// where every pair is connected with fixed probability p (§6.1).
+func NewAutoMine(st GraphStats) Model { return &autoMine{st} }
+
+func (m *autoMine) Name() string { return "automine" }
+
+func (m *autoMine) Cost(prog *ast.Program) float64 {
+	e := estimator{st: m.st, intersect: func(a, b float64, _, _ bool) float64 {
+		return a * b / math.Max(m.st.N, 1)
+	}}
+	return e.run(prog)
+}
+
+// ---- locality-aware model ----
+
+type locality struct {
+	st     GraphStats
+	plocal float64
+}
+
+// NewLocality returns the locality-aware model: vertices within α hops
+// connect with probability plocal >> p (§6.1). In connected patterns all
+// bound vertices are within the α=8 default, so every neighbor-set
+// intersection uses plocal.
+func NewLocality(st GraphStats, plocal float64) Model {
+	if plocal <= 0 {
+		plocal = 0.25
+	}
+	return &locality{st, plocal}
+}
+
+func (m *locality) Name() string { return "locality" }
+
+func (m *locality) Cost(prog *ast.Program) float64 {
+	e := estimator{st: m.st, intersect: func(a, b float64, na, nb bool) float64 {
+		if na && nb {
+			return math.Min(a, b) * m.plocal
+		}
+		return a * b / math.Max(m.st.N, 1)
+	}}
+	return e.run(prog)
+}
+
+// ---- approximate-mining model ----
+
+type approxMining struct {
+	st       GraphStats
+	profile  *sampling.Profile
+	fallback Model
+}
+
+// NewApproxMining returns the approximate-mining based model (§6.2): the
+// iteration count of a loop level is estimated by the profiled count of
+// the pattern prefix reaching that level. Prefixes without profile
+// entries (disconnected prefixes, oversized patterns) fall back to the
+// locality model's branching estimate.
+func NewApproxMining(st GraphStats, profile *sampling.Profile) Model {
+	return &approxMining{st: st, profile: profile, fallback: NewLocality(st, 0.25)}
+}
+
+func (m *approxMining) Name() string { return "approx-mining" }
+
+func (m *approxMining) Cost(prog *ast.Program) float64 {
+	e := estimator{
+		st: m.st,
+		intersect: func(a, b float64, na, nb bool) float64 {
+			if na && nb {
+				return math.Min(a, b) * 0.25
+			}
+			return a * b / math.Max(m.st.N, 1)
+		},
+		loopCount: func(meta *ast.LoopMeta, parentCount float64) (float64, bool) {
+			if meta == nil || meta.Prefix == nil {
+				return 0, false
+			}
+			c, ok := m.profile.Count(meta.Prefix)
+			if !ok {
+				return 0, false
+			}
+			if meta.Trimmed {
+				// Symmetry-breaking trims cut the surviving tuples by the
+				// prefix automorphism factor; a factor-2 per trim is the
+				// standard coarse correction.
+				c /= 2
+			}
+			return math.Max(c, 1e-9), true
+		},
+	}
+	return e.run(prog)
+}
+
+// ---- shared AST-walking estimator ----
+
+// estimator walks a program accumulating expected work. For every set
+// register it tracks an estimated cardinality and whether the set derives
+// from neighbor lists (the locality signal); for every loop it tracks the
+// expected total number of iterations across the whole execution.
+type estimator struct {
+	st        GraphStats
+	intersect func(a, b float64, aNb, bNb bool) float64
+	// loopCount, when set and returning ok, overrides the expected TOTAL
+	// number of iterations of a loop (absolute, profile units).
+	loopCount func(meta *ast.LoopMeta, parentCount float64) (float64, bool)
+
+	size    []float64
+	fromNbr []bool
+	cost    float64
+}
+
+func (e *estimator) run(prog *ast.Program) float64 {
+	e.size = make([]float64, prog.NumSets)
+	e.fromNbr = make([]bool, prog.NumSets)
+	e.walk(prog.Root.Body, 1, 1)
+	return e.cost
+}
+
+// walk processes a body executed `iters` expected times total; prefCount
+// is the profile-unit count of tuples reaching this body (used to chain
+// loopCount overrides).
+func (e *estimator) walk(body []*ast.Node, iters, prefCount float64) {
+	for _, n := range body {
+		switch n.Kind {
+		case ast.KLoop:
+			perIter := e.size[n.Over]
+			if perIter < 0 {
+				perIter = 0
+			}
+			total := iters * perIter
+			childPref := prefCount * perIter
+			if e.loopCount != nil {
+				if c, ok := e.loopCount(n.Meta, prefCount); ok {
+					// The profile gives the absolute number of prefix
+					// tuples, which IS the total iteration count of this
+					// loop level (§6.2's key observation). All candidate
+					// plans are costed in the same profile units, so the
+					// ranking is consistent.
+					total = c
+					childPref = c
+				}
+			}
+			e.cost += total // loop bookkeeping
+			e.walk(n.Body, math.Max(total, 1e-12), math.Max(childPref, 1e-12))
+		case ast.KSetDef:
+			e.defineSet(n, iters)
+		case ast.KScalarDef, ast.KScalarReset, ast.KScalarAccum, ast.KGlobalAdd:
+			e.cost += iters
+		case ast.KHashClear:
+			e.cost += iters
+		case ast.KHashInc, ast.KHashGet:
+			e.cost += 2 * iters
+		case ast.KEmit:
+			e.cost += 2 * iters
+		case ast.KCondPos:
+			e.walk(n.Body, iters, prefCount)
+		}
+	}
+}
+
+func (e *estimator) defineSet(n *ast.Node, iters float64) {
+	var sz float64
+	var nb bool
+	switch n.Op {
+	case ast.OpAll:
+		sz, nb = e.st.N, false
+	case ast.OpNeighbors:
+		sz, nb = e.st.AvgDeg, true
+	case ast.OpIntersect:
+		a, b := e.size[n.A], e.size[n.B]
+		sz = e.intersect(a, b, e.fromNbr[n.A], e.fromNbr[n.B])
+		nb = e.fromNbr[n.A] || e.fromNbr[n.B]
+		e.cost += iters * (a + b) // merge cost
+	case ast.OpSubtract:
+		a, b := e.size[n.A], e.size[n.B]
+		frac := 1 - b/math.Max(e.st.N, 1)
+		if frac < 0.05 {
+			frac = 0.05
+		}
+		sz, nb = a*frac, e.fromNbr[n.A]
+		e.cost += iters * (a + b)
+	case ast.OpRemove:
+		sz, nb = math.Max(e.size[n.A]-1, 0), e.fromNbr[n.A]
+		e.cost += iters * e.size[n.A]
+	case ast.OpTrimAbove, ast.OpTrimBelow:
+		sz, nb = e.size[n.A]/2, e.fromNbr[n.A]
+		e.cost += iters * math.Log2(math.Max(e.size[n.A], 2))
+	case ast.OpCopy:
+		sz, nb = e.size[n.A], e.fromNbr[n.A]
+		e.cost += iters * e.size[n.A]
+	case ast.OpFilterLabel, ast.OpFilterLabelOfVar:
+		sz, nb = e.size[n.A]/e.st.Labels, e.fromNbr[n.A]
+		e.cost += iters * e.size[n.A]
+	case ast.OpFilterLabelNotOfVar:
+		sz, nb = e.size[n.A]*(1-1/e.st.Labels), e.fromNbr[n.A]
+		e.cost += iters * e.size[n.A]
+	}
+	if sz < 0 {
+		sz = 0
+	}
+	e.size[n.Dst] = sz
+	e.fromNbr[n.Dst] = nb
+}

@@ -1,0 +1,393 @@
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"decomine/internal/ast"
+	"decomine/internal/graph"
+	"decomine/internal/vset"
+)
+
+// Consumer receives partial embeddings from KEmit nodes. One Consumer is
+// created per worker (see Options.NewConsumer) so implementations need no
+// internal locking; verts aliases an engine scratch buffer and must be
+// copied if retained. Returning false stops the whole run early (used by
+// bounded materialization).
+type Consumer interface {
+	Process(sub int, verts []uint32, count int64) bool
+}
+
+// ConsumerFunc adapts a function to the Consumer interface.
+type ConsumerFunc func(sub int, verts []uint32, count int64) bool
+
+// Process implements Consumer.
+func (f ConsumerFunc) Process(sub int, verts []uint32, count int64) bool {
+	return f(sub, verts, count)
+}
+
+// Options configures a run.
+type Options struct {
+	// Threads is the number of workers; 0 means GOMAXPROCS.
+	Threads int
+	// NewConsumer creates one Consumer per worker. Nil when the program
+	// has no KEmit nodes.
+	NewConsumer func(worker int) Consumer
+	// Pins preloads vertex variables [0, len(Pins)); required when the
+	// program was built with pinned variables.
+	Pins []uint32
+	// Cancel, when non-nil and set, aborts the run at the next
+	// outer-loop chunk boundary; the Result reports Canceled=true. Used
+	// by the experiment harness to enforce per-cell time budgets.
+	Cancel *atomic.Bool
+}
+
+// Result carries the merged global accumulators and execution metadata.
+type Result struct {
+	Globals []int64
+	// WorkPerThread counts outer-loop iterations each worker executed,
+	// used by the scalability experiment to report load balance.
+	WorkPerThread []int64
+	// Canceled reports that Options.Cancel aborted the run; Globals are
+	// then partial.
+	Canceled bool
+}
+
+// Run executes a program against g and returns the merged globals.
+func Run(g *graph.Graph, prog *ast.Program, opts Options) (*Result, error) {
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	if len(opts.Pins) != prog.NumPinned {
+		return nil, fmt.Errorf("engine: %d pins for %d pinned vars", len(opts.Pins), prog.NumPinned)
+	}
+	threads := opts.Threads
+	if threads <= 0 {
+		threads = runtime.GOMAXPROCS(0)
+	}
+	needsConsumer := false
+	ast.Walk(prog.Root, func(n *ast.Node) {
+		if n.Kind == ast.KEmit {
+			needsConsumer = true
+		}
+	})
+	if needsConsumer && opts.NewConsumer == nil {
+		return nil, fmt.Errorf("engine: program emits partial embeddings but no consumer factory given")
+	}
+
+	// One consumer per worker index, shared across top-level loops so
+	// stateful consumers (FSM domains) see the whole run.
+	consumers := make([]Consumer, threads)
+	getConsumer := func(t int) Consumer {
+		if consumers[t] == nil && opts.NewConsumer != nil {
+			consumers[t] = opts.NewConsumer(t)
+		}
+		return consumers[t]
+	}
+
+	// The master frame executes root-level statements; each top-level
+	// loop is run by the parallel driver.
+	master := newFrame(g, prog, nil)
+	copy(master.vars, opts.Pins)
+	res := &Result{
+		Globals:       make([]int64, prog.NumGlobals),
+		WorkPerThread: make([]int64, threads),
+	}
+
+	master.consumer = getConsumer(0)
+	stopped := false
+	for _, n := range prog.Root.Body {
+		if stopped {
+			break
+		}
+		if n.Kind != ast.KLoop {
+			// Root-level statements (defs, and emissions of fully pinned
+			// programs) run on the master frame; a consumer may stop the
+			// run here too.
+			if !master.execOK(n) {
+				stopped = true
+			}
+			continue
+		}
+		over := master.sets[n.Over]
+		if threads == 1 || len(over) < 2 {
+			// Sequential fast path (also used by bounded materialization),
+			// chunked so cancellation is observed.
+			const seqChunk = 64
+			for start := 0; start < len(over); start += seqChunk {
+				if opts.Cancel != nil && opts.Cancel.Load() {
+					res.Canceled = true
+					stopped = true
+					break
+				}
+				end := start + seqChunk
+				if end > len(over) {
+					end = len(over)
+				}
+				if !master.loopRange(n, over[start:end]) {
+					stopped = true
+					break
+				}
+				res.WorkPerThread[0] += int64(end - start)
+			}
+			continue
+		}
+		// Parallel driver: dynamic self-scheduling over chunks of the
+		// outer loop — idle threads grab statically unowned iterations,
+		// the engine's analogue of the paper's fine-grained work
+		// stealing (§7.4).
+		chunk := len(over) / (threads * 16)
+		if chunk < 1 {
+			chunk = 1
+		}
+		var next int64
+		var stopFlag int64
+		var wg sync.WaitGroup
+		workers := make([]*frame, threads)
+		for t := 0; t < threads; t++ {
+			wg.Add(1)
+			w := master.fork()
+			w.consumer = getConsumer(t)
+			workers[t] = w
+			go func(t int, w *frame) {
+				defer wg.Done()
+				for {
+					if opts.Cancel != nil && opts.Cancel.Load() {
+						atomic.StoreInt64(&stopFlag, 2)
+						return
+					}
+					start := int(atomic.AddInt64(&next, int64(chunk))) - chunk
+					if start >= len(over) {
+						return
+					}
+					end := start + chunk
+					if end > len(over) {
+						end = len(over)
+					}
+					res.WorkPerThread[t] += int64(end - start)
+					if !w.loopRange(n, over[start:end]) {
+						atomic.StoreInt64(&stopFlag, 1)
+						atomic.StoreInt64(&next, int64(len(over))) // drain
+						return
+					}
+				}
+			}(t, w)
+		}
+		wg.Wait()
+		if f := atomic.LoadInt64(&stopFlag); f != 0 {
+			stopped = true
+			if f == 2 {
+				res.Canceled = true
+			}
+		}
+		// Privatized accumulators: merge per-worker globals under no
+		// contention (associative + commutative updates, §7.1).
+		for _, w := range workers {
+			for i, v := range w.globals {
+				master.globals[i] += v
+			}
+		}
+	}
+	copy(res.Globals, master.globals)
+	return res, nil
+}
+
+// frame is a per-worker register file.
+type frame struct {
+	g        *graph.Graph
+	prog     *ast.Program
+	vars     []uint32
+	sets     [][]uint32 // current value per set register
+	bufs     [][]uint32 // backing storage per set register
+	scalars  []int64
+	globals  []int64
+	tables   []*HashTable
+	keyBuf   []uint32
+	consumer Consumer
+	labelOf  func(uint32) uint32
+}
+
+func newFrame(g *graph.Graph, prog *ast.Program, parent *frame) *frame {
+	f := &frame{
+		g:       g,
+		prog:    prog,
+		vars:    make([]uint32, prog.NumVars),
+		sets:    make([][]uint32, prog.NumSets),
+		bufs:    make([][]uint32, prog.NumSets),
+		scalars: make([]int64, prog.NumScalars),
+		globals: make([]int64, prog.NumGlobals),
+		keyBuf:  make([]uint32, 0, prog.MaxKey+4),
+	}
+	f.labelOf = g.Label
+	f.tables = make([]*HashTable, prog.NumTables)
+	for i := range f.tables {
+		width := 1
+		if i < len(prog.TableWidths) && prog.TableWidths[i] > 0 {
+			width = prog.TableWidths[i]
+		}
+		f.tables[i] = NewHashTable(width)
+	}
+	if parent != nil {
+		copy(f.vars, parent.vars)
+		copy(f.scalars, parent.scalars)
+		// Set registers defined at root level are SSA and read-only
+		// within loops, so workers may alias the master's slices.
+		copy(f.sets, parent.sets)
+	}
+	return f
+}
+
+// fork creates a worker frame sharing the master's root-level set values.
+func (f *frame) fork() *frame { return newFrame(f.g, f.prog, f) }
+
+// loopRange executes a loop node over an explicit element slice,
+// returning false if a consumer requested early termination.
+func (f *frame) loopRange(n *ast.Node, over []uint32) bool {
+	for _, v := range over {
+		f.vars[n.Var] = v
+		for _, c := range n.Body {
+			if !f.execOK(c) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// execOK interprets one node; false means "stop everything".
+func (f *frame) execOK(n *ast.Node) bool {
+	switch n.Kind {
+	case ast.KRoot:
+		for _, c := range n.Body {
+			if !f.execOK(c) {
+				return false
+			}
+		}
+	case ast.KLoop:
+		return f.loopRange(n, f.sets[n.Over])
+	case ast.KSetDef:
+		f.evalSet(n)
+	case ast.KScalarDef:
+		f.scalars[n.Dst] = f.evalScalar(n)
+	case ast.KScalarReset:
+		f.scalars[n.Dst] = n.Imm
+	case ast.KScalarAccum:
+		f.scalars[n.Dst] += n.Imm * f.scalars[n.SA]
+	case ast.KGlobalAdd:
+		f.globals[n.Dst] += n.Imm * f.scalars[n.SA]
+	case ast.KHashClear:
+		f.tables[n.Table].Clear()
+	case ast.KHashInc:
+		f.tables[n.Table].Add(f.key(n.Keys), n.Imm)
+	case ast.KHashGet:
+		f.scalars[n.Dst] = f.tables[n.Table].Get(f.key(n.Keys))
+	case ast.KCondPos:
+		if f.scalars[n.SA] > 0 {
+			for _, c := range n.Body {
+				if !f.execOK(c) {
+					return false
+				}
+			}
+		}
+	case ast.KEmit:
+		return f.consumer.Process(n.Sub, f.key(n.Keys), f.scalars[n.SA])
+	default:
+		panic(fmt.Sprintf("engine: unknown node kind %d", n.Kind))
+	}
+	return true
+}
+
+func (f *frame) key(vars []int) []uint32 {
+	f.keyBuf = f.keyBuf[:len(vars)]
+	for i, v := range vars {
+		f.keyBuf[i] = f.vars[v]
+	}
+	return f.keyBuf
+}
+
+func (f *frame) evalSet(n *ast.Node) {
+	dst := f.bufs[n.Dst]
+	switch n.Op {
+	case ast.OpAll:
+		nv := f.g.NumVertices()
+		if cap(dst) < nv {
+			dst = make([]uint32, nv)
+			for i := range dst {
+				dst[i] = uint32(i)
+			}
+		}
+		f.bufs[n.Dst] = dst[:nv]
+		f.sets[n.Dst] = dst[:nv]
+		return
+	case ast.OpNeighbors:
+		// Alias the CSR adjacency directly: zero copies.
+		f.sets[n.Dst] = f.g.Neighbors(f.vars[n.V])
+		return
+	case ast.OpIntersect:
+		dst = vset.Intersect(dst, f.sets[n.A], f.sets[n.B])
+	case ast.OpSubtract:
+		dst = vset.Subtract(dst, f.sets[n.A], f.sets[n.B])
+	case ast.OpRemove:
+		dst = vset.Remove(dst, f.sets[n.A], f.vars[n.V])
+	case ast.OpTrimAbove:
+		dst = vset.TrimAbove(dst, f.sets[n.A], f.vars[n.V])
+	case ast.OpTrimBelow:
+		dst = vset.TrimBelow(dst, f.sets[n.A], f.vars[n.V])
+	case ast.OpCopy:
+		dst = vset.Copy(dst, f.sets[n.A])
+	case ast.OpFilterLabel:
+		dst = dst[:0]
+		want := uint32(n.Imm)
+		for _, x := range f.sets[n.A] {
+			if f.labelOf(x) == want {
+				dst = append(dst, x)
+			}
+		}
+	case ast.OpFilterLabelOfVar:
+		dst = dst[:0]
+		want := f.labelOf(f.vars[n.V])
+		for _, x := range f.sets[n.A] {
+			if f.labelOf(x) == want {
+				dst = append(dst, x)
+			}
+		}
+	case ast.OpFilterLabelNotOfVar:
+		dst = dst[:0]
+		avoid := f.labelOf(f.vars[n.V])
+		for _, x := range f.sets[n.A] {
+			if f.labelOf(x) != avoid {
+				dst = append(dst, x)
+			}
+		}
+	}
+	f.bufs[n.Dst] = dst
+	f.sets[n.Dst] = dst
+}
+
+func (f *frame) evalScalar(n *ast.Node) int64 {
+	switch n.SOp {
+	case ast.SSize:
+		return int64(len(f.sets[n.A]))
+	case ast.SConst:
+		return n.Imm
+	case ast.SMul:
+		return f.scalars[n.SA] * f.scalars[n.SB]
+	case ast.SDiv:
+		d := f.scalars[n.SB]
+		if d == 0 {
+			return 0
+		}
+		return f.scalars[n.SA] / d
+	case ast.SSub:
+		return f.scalars[n.SA] - f.scalars[n.SB]
+	case ast.SAdd:
+		return f.scalars[n.SA] + f.scalars[n.SB]
+	case ast.SCountAbove:
+		return vset.CountAbove(f.sets[n.A], f.vars[n.V])
+	case ast.SCountBelow:
+		return vset.CountBelow(f.sets[n.A], f.vars[n.V])
+	}
+	panic(fmt.Sprintf("engine: unknown scalar op %d", n.SOp))
+}

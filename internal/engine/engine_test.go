@@ -1,0 +1,323 @@
+package engine
+
+import (
+	"testing"
+
+	"decomine/internal/ast"
+	"decomine/internal/graph"
+)
+
+// buildTriangleProgram builds the canonical ordered-triangle counter:
+//
+//	s0 = V
+//	for v0 in s0 { s1 = N(v0)
+//	  for v1 in s1 { s2 = N(v1); s3 = s1 ∩ s2; x = |s3|; g0 += x } }
+//
+// which counts 6x the number of triangles (ordered tuples).
+func buildTriangleProgram() *ast.Program {
+	b := ast.NewBuilder(0)
+	all := b.All()
+	v0 := b.BeginLoop(all, nil)
+	n0 := b.Neighbors(v0)
+	v1 := b.BeginLoop(n0, nil)
+	n1 := b.Neighbors(v1)
+	common := b.Intersect(n0, n1)
+	x := b.Size(common)
+	g := b.NewGlobal()
+	b.GlobalAdd(g, x, 1)
+	b.EndLoop()
+	b.EndLoop()
+	return b.Finish()
+}
+
+// bruteTriangles counts triangles by brute force.
+func bruteTriangles(g *graph.Graph) int64 {
+	var cnt int64
+	n := g.NumVertices()
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			if !g.HasEdge(uint32(a), uint32(b)) {
+				continue
+			}
+			for c := b + 1; c < n; c++ {
+				if g.HasEdge(uint32(a), uint32(c)) && g.HasEdge(uint32(b), uint32(c)) {
+					cnt++
+				}
+			}
+		}
+	}
+	return cnt
+}
+
+func TestRunTriangleCount(t *testing.T) {
+	g := graph.GNP(200, 0.08, 17)
+	want := bruteTriangles(g) * 6
+	prog := buildTriangleProgram()
+	res, err := Run(g, prog, Options{Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Globals[0] != want {
+		t.Fatalf("sequential: got %d, want %d", res.Globals[0], want)
+	}
+	// Parallel run matches.
+	res4, err := Run(g, prog, Options{Threads: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res4.Globals[0] != want {
+		t.Fatalf("parallel: got %d, want %d", res4.Globals[0], want)
+	}
+	var total int64
+	for _, w := range res4.WorkPerThread {
+		total += w
+	}
+	if total != int64(g.NumVertices()) {
+		t.Fatalf("work accounting: %d != %d", total, g.NumVertices())
+	}
+}
+
+func TestRunOptimizedMatchesNaive(t *testing.T) {
+	g := graph.GNP(150, 0.1, 23)
+	prog := buildTriangleProgram()
+	want, err := Run(g, prog, Options{Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := buildTriangleProgram()
+	ast.Optimize(opt)
+	got, err := Run(g, opt, Options{Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Globals[0] != want.Globals[0] {
+		t.Fatalf("optimized %d != naive %d", got.Globals[0], want.Globals[0])
+	}
+}
+
+func TestRunTrimsCountEachTriangleOnce(t *testing.T) {
+	// With v1 < v0 and v2 < v1 trims, each triangle is counted once.
+	b := ast.NewBuilder(0)
+	all := b.All()
+	v0 := b.BeginLoop(all, nil)
+	n0 := b.Neighbors(v0)
+	n0t := b.TrimAbove(n0, v0)
+	v1 := b.BeginLoop(n0t, nil)
+	n1 := b.Neighbors(v1)
+	common := b.Intersect(n0, n1)
+	x := b.CountBelow(common, v1)
+	gl := b.NewGlobal()
+	b.GlobalAdd(gl, x, 1)
+	b.EndLoop()
+	b.EndLoop()
+	prog := b.Finish()
+
+	g := graph.GNP(200, 0.08, 29)
+	res, err := Run(g, prog, Options{Threads: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := bruteTriangles(g); res.Globals[0] != want {
+		t.Fatalf("got %d, want %d", res.Globals[0], want)
+	}
+}
+
+func TestRunEmitAndConsumers(t *testing.T) {
+	// Emit every edge (u,v) with u<v once, count 1 each.
+	b := ast.NewBuilder(0)
+	all := b.All()
+	v0 := b.BeginLoop(all, nil)
+	n0 := b.Neighbors(v0)
+	n0t := b.TrimBelow(n0, v0) // v1 > v0
+	v1 := b.BeginLoop(n0t, nil)
+	one := b.Const(1)
+	b.Emit(0, []int{v0, v1}, one)
+	b.EndLoop()
+	b.EndLoop()
+	prog := b.Finish()
+
+	g := graph.GNP(100, 0.1, 31)
+	type edge [2]uint32
+	collected := make([]map[edge]int64, 4)
+	res, err := Run(g, prog, Options{
+		Threads: 4,
+		NewConsumer: func(w int) Consumer {
+			collected[w] = map[edge]int64{}
+			return ConsumerFunc(func(sub int, verts []uint32, count int64) bool {
+				if sub != 0 || len(verts) != 2 {
+					t.Errorf("bad emit sub=%d verts=%v", sub, verts)
+				}
+				collected[w][edge{verts[0], verts[1]}] += count
+				return true
+			})
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = res
+	merged := map[edge]int64{}
+	for _, m := range collected {
+		for k, v := range m {
+			merged[k] += v
+		}
+	}
+	if int64(len(merged)) != g.NumEdges() {
+		t.Fatalf("emitted %d distinct edges, want %d", len(merged), g.NumEdges())
+	}
+	for e, c := range merged {
+		if c != 1 {
+			t.Fatalf("edge %v emitted %d times", e, c)
+		}
+		if !g.HasEdge(e[0], e[1]) || e[0] >= e[1] {
+			t.Fatalf("bad edge %v", e)
+		}
+	}
+}
+
+func TestRunEarlyTermination(t *testing.T) {
+	b := ast.NewBuilder(0)
+	all := b.All()
+	v0 := b.BeginLoop(all, nil)
+	one := b.Const(1)
+	b.Emit(0, []int{v0}, one)
+	b.EndLoop()
+	prog := b.Finish()
+
+	g := graph.GNP(500, 0.01, 37)
+	seen := 0
+	_, err := Run(g, prog, Options{
+		Threads: 1,
+		NewConsumer: func(w int) Consumer {
+			return ConsumerFunc(func(sub int, verts []uint32, count int64) bool {
+				seen++
+				return seen < 10
+			})
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seen != 10 {
+		t.Fatalf("early termination saw %d emits", seen)
+	}
+}
+
+func TestRunPinnedVars(t *testing.T) {
+	// Count |N(p0)| for a pinned vertex p0.
+	b := ast.NewBuilder(1)
+	n0 := b.Neighbors(0)
+	x := b.Size(n0)
+	gl := b.NewGlobal()
+	b.GlobalAdd(gl, x, 1)
+	prog := b.Finish()
+
+	g := graph.GNP(100, 0.1, 41)
+	for _, v := range []uint32{0, 5, 99} {
+		res, err := Run(g, prog, Options{Threads: 1, Pins: []uint32{v}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Globals[0] != int64(g.Degree(v)) {
+			t.Fatalf("pinned deg(%d) = %d, want %d", v, res.Globals[0], g.Degree(v))
+		}
+	}
+	// Missing pins error.
+	if _, err := Run(g, prog, Options{Threads: 1}); err == nil {
+		t.Fatal("want error for missing pins")
+	}
+}
+
+func TestRunHashOpsInProgram(t *testing.T) {
+	// For each v0: clear table; for each v1 in N(v0): h[v1] += 1; then
+	// for each v1 in N(v0): g0 += h[v1]. Every neighbor counted once,
+	// so g0 = 2|E|.
+	b := ast.NewBuilder(0)
+	all := b.All()
+	tab := b.NewTable()
+	gl := b.NewGlobal()
+	v0 := b.BeginLoop(all, nil)
+	b.HashClear(tab)
+	n0 := b.Neighbors(v0)
+	v1 := b.BeginLoop(n0, nil)
+	b.HashInc(tab, []int{v1}, 1)
+	b.EndLoop()
+	v2 := b.BeginLoop(n0, nil)
+	got := b.HashGet(tab, []int{v2})
+	b.GlobalAdd(gl, got, 1)
+	b.EndLoop()
+	b.EndLoop()
+	prog := b.Finish()
+
+	g := graph.GNP(120, 0.08, 43)
+	res, err := Run(g, prog, Options{Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Globals[0] != 2*g.NumEdges() {
+		t.Fatalf("got %d, want %d", res.Globals[0], 2*g.NumEdges())
+	}
+}
+
+func TestRunCondPos(t *testing.T) {
+	// Count vertices with degree > 0 via CondPos.
+	b := ast.NewBuilder(0)
+	all := b.All()
+	gl := b.NewGlobal()
+	v0 := b.BeginLoop(all, nil)
+	n0 := b.Neighbors(v0)
+	d := b.Size(n0)
+	b.BeginCond(d)
+	one := b.Const(1)
+	b.GlobalAdd(gl, one, 1)
+	b.EndCond()
+	b.EndLoop()
+	prog := b.Finish()
+
+	g := graph.FromEdges(5, [][2]uint32{{0, 1}, {1, 2}}) // vertices 3,4 isolated
+	res, err := Run(g, prog, Options{Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Globals[0] != 3 {
+		t.Fatalf("got %d, want 3", res.Globals[0])
+	}
+}
+
+func TestValidateCatchesBadPrograms(t *testing.T) {
+	// Loop over an undefined set register.
+	prog := &ast.Program{
+		Root:    &ast.Node{Kind: ast.KRoot, Body: []*ast.Node{{Kind: ast.KLoop, Var: 0, Over: 0}}},
+		NumVars: 1, NumSets: 1,
+	}
+	g := graph.GNP(10, 0.5, 1)
+	if _, err := Run(g, prog, Options{Threads: 1}); err == nil {
+		t.Fatal("want validation error")
+	}
+}
+
+func TestLabelFilter(t *testing.T) {
+	b := ast.NewBuilder(0)
+	all := b.All()
+	lbl := b.FilterLabel(all, 1)
+	x := b.Size(lbl)
+	gl := b.NewGlobal()
+	b.GlobalAdd(gl, x, 1)
+	prog := b.Finish()
+
+	bld := graph.NewBuilder(4)
+	bld.AddEdge(0, 1)
+	bld.AddEdge(2, 3)
+	bld.SetLabels([]uint32{1, 0, 1, 1})
+	g, err := bld.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(g, prog, Options{Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Globals[0] != 3 {
+		t.Fatalf("labeled count = %d, want 3", res.Globals[0])
+	}
+}

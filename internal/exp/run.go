@@ -1,0 +1,31 @@
+package exp
+
+// Registry of all experiment regenerators, used by cmd/expbench and the
+// benchmark suite.
+
+// Experiment names in paper order.
+var Order = []string{
+	"fig1", "tab2", "tab3", "tab4", "tab5", "tab6", "tab7",
+	"fig11b", "fig11c", "fig14", "fig15", "fig16", "fig17",
+	"sec86", "fig18", "fig19",
+}
+
+// Registry maps experiment IDs to their regenerators.
+var Registry = map[string]func(Config) *Table{
+	"fig1":   Fig1,
+	"tab2":   Tab2,
+	"tab3":   Tab3,
+	"tab4":   Tab4,
+	"tab5":   Tab5,
+	"tab6":   Tab6,
+	"tab7":   Tab7,
+	"fig11b": Fig11b,
+	"fig11c": Fig11c,
+	"fig14":  Fig14,
+	"fig15":  Fig15,
+	"fig16":  Fig16,
+	"fig17":  Fig17,
+	"sec86":  Sec86,
+	"fig18":  Fig18,
+	"fig19":  Fig19,
+}

@@ -1,0 +1,271 @@
+// Package graph provides the input-graph substrate for DecoMine: an
+// immutable undirected graph in CSR (compressed sparse row) form with
+// sorted adjacency lists, optional vertex labels, loaders for edge-list
+// text formats, synthetic generators used by the experiment harness, and
+// uniform edge sampling for the approximate-mining cost model.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is an immutable undirected simple graph in CSR form. Adjacency
+// lists are strictly increasing, duplicate edges and self loops have been
+// removed at construction. Vertex IDs are dense in [0, NumVertices).
+type Graph struct {
+	offsets []int64  // len NumVertices+1
+	adj     []uint32 // concatenated sorted adjacency lists
+	labels  []uint32 // optional; nil for unlabeled graphs
+	name    string
+}
+
+// NumVertices returns |V|.
+func (g *Graph) NumVertices() int { return len(g.offsets) - 1 }
+
+// NumEdges returns |E| (each undirected edge counted once).
+func (g *Graph) NumEdges() int64 { return int64(len(g.adj)) / 2 }
+
+// Name returns the dataset name attached at construction (may be empty).
+func (g *Graph) Name() string { return g.name }
+
+// Neighbors returns the sorted adjacency list of v. The returned slice
+// aliases the graph's internal storage and must not be modified.
+func (g *Graph) Neighbors(v uint32) []uint32 {
+	return g.adj[g.offsets[v]:g.offsets[v+1]]
+}
+
+// Degree returns deg(v).
+func (g *Graph) Degree(v uint32) int {
+	return int(g.offsets[v+1] - g.offsets[v])
+}
+
+// HasEdge reports whether {u,v} is an edge, via binary search on the
+// smaller adjacency list.
+func (g *Graph) HasEdge(u, v uint32) bool {
+	if g.Degree(u) > g.Degree(v) {
+		u, v = v, u
+	}
+	n := g.Neighbors(u)
+	i := sort.Search(len(n), func(i int) bool { return n[i] >= v })
+	return i < len(n) && n[i] == v
+}
+
+// Labeled reports whether the graph carries vertex labels.
+func (g *Graph) Labeled() bool { return g.labels != nil }
+
+// Label returns the label of v, or 0 for unlabeled graphs.
+func (g *Graph) Label(v uint32) uint32 {
+	if g.labels == nil {
+		return 0
+	}
+	return g.labels[v]
+}
+
+// NumLabels returns the number of distinct labels (0 for unlabeled graphs).
+func (g *Graph) NumLabels() int {
+	if g.labels == nil {
+		return 0
+	}
+	seen := map[uint32]bool{}
+	for _, l := range g.labels {
+		seen[l] = true
+	}
+	return len(seen)
+}
+
+// MaxDegree returns the maximum vertex degree.
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for v := 0; v < g.NumVertices(); v++ {
+		if d := g.Degree(uint32(v)); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// AvgDegree returns 2|E|/|V|.
+func (g *Graph) AvgDegree() float64 {
+	if g.NumVertices() == 0 {
+		return 0
+	}
+	return float64(len(g.adj)) / float64(g.NumVertices())
+}
+
+// String summarizes the graph for logs and experiment output.
+func (g *Graph) String() string {
+	lbl := ""
+	if g.Labeled() {
+		lbl = fmt.Sprintf(", %d labels", g.NumLabels())
+	}
+	return fmt.Sprintf("%s(|V|=%d, |E|=%d%s)", g.nonEmptyName(), g.NumVertices(), g.NumEdges(), lbl)
+}
+
+func (g *Graph) nonEmptyName() string {
+	if g.name == "" {
+		return "graph"
+	}
+	return g.name
+}
+
+// Edges calls fn for every undirected edge (u < v). Used by samplers,
+// converters and tests; not on the mining hot path.
+func (g *Graph) Edges(fn func(u, v uint32)) {
+	for u := 0; u < g.NumVertices(); u++ {
+		for _, v := range g.Neighbors(uint32(u)) {
+			if uint32(u) < v {
+				fn(uint32(u), v)
+			}
+		}
+	}
+}
+
+// Builder accumulates edges and produces a Graph. Duplicate edges and
+// self-loops are accepted and dropped at Build time, matching the paper's
+// preprocessing ("we preprocessed all datasets to delete duplicated edges
+// and self-loops").
+type Builder struct {
+	n      int
+	src    []uint32
+	dst    []uint32
+	labels []uint32
+	name   string
+}
+
+// NewBuilder creates a builder for a graph with n vertices.
+func NewBuilder(n int) *Builder {
+	return &Builder{n: n}
+}
+
+// SetName attaches a dataset name.
+func (b *Builder) SetName(name string) *Builder {
+	b.name = name
+	return b
+}
+
+// AddEdge records an undirected edge; out-of-range endpoints grow the
+// vertex count.
+func (b *Builder) AddEdge(u, v uint32) {
+	if int(u) >= b.n {
+		b.n = int(u) + 1
+	}
+	if int(v) >= b.n {
+		b.n = int(v) + 1
+	}
+	b.src = append(b.src, u)
+	b.dst = append(b.dst, v)
+}
+
+// SetLabels attaches per-vertex labels; len must equal the final vertex
+// count at Build time.
+func (b *Builder) SetLabels(labels []uint32) *Builder {
+	b.labels = labels
+	return b
+}
+
+// Build materializes the CSR graph.
+func (b *Builder) Build() (*Graph, error) {
+	if b.labels != nil && len(b.labels) != b.n {
+		return nil, fmt.Errorf("graph: %d labels for %d vertices", len(b.labels), b.n)
+	}
+	// Count directed degrees (both directions), skipping self loops.
+	deg := make([]int64, b.n+1)
+	for i := range b.src {
+		u, v := b.src[i], b.dst[i]
+		if u == v {
+			continue
+		}
+		deg[u+1]++
+		deg[v+1]++
+	}
+	offsets := make([]int64, b.n+1)
+	for i := 1; i <= b.n; i++ {
+		offsets[i] = offsets[i-1] + deg[i]
+	}
+	adj := make([]uint32, offsets[b.n])
+	cursor := make([]int64, b.n)
+	copy(cursor, offsets[:b.n])
+	for i := range b.src {
+		u, v := b.src[i], b.dst[i]
+		if u == v {
+			continue
+		}
+		adj[cursor[u]] = v
+		cursor[u]++
+		adj[cursor[v]] = u
+		cursor[v]++
+	}
+	// Sort each adjacency list and drop duplicates in place.
+	w := int64(0)
+	newOffsets := make([]int64, b.n+1)
+	for v := 0; v < b.n; v++ {
+		lo, hi := offsets[v], offsets[v+1]
+		lst := adj[lo:hi]
+		sort.Slice(lst, func(i, j int) bool { return lst[i] < lst[j] })
+		newOffsets[v] = w
+		var prev uint32
+		first := true
+		for _, x := range lst {
+			if first || x != prev {
+				adj[w] = x
+				w++
+				prev = x
+				first = false
+			}
+		}
+	}
+	newOffsets[b.n] = w
+	return &Graph{
+		offsets: newOffsets,
+		adj:     adj[:w:w],
+		labels:  b.labels,
+		name:    b.name,
+	}, nil
+}
+
+// FromEdges builds a graph from a flat edge list. Convenience for tests.
+func FromEdges(n int, edges [][2]uint32) *Graph {
+	b := NewBuilder(n)
+	for _, e := range edges {
+		b.AddEdge(e[0], e[1])
+	}
+	g, err := b.Build()
+	if err != nil {
+		panic(err) // unreachable: no labels attached
+	}
+	return g
+}
+
+// InducedSubgraph returns the subgraph induced by keep (a sorted vertex
+// set), with vertices renumbered densely in keep-order. Used by the
+// edge-sampling profiler.
+func (g *Graph) InducedSubgraph(keep []uint32) *Graph {
+	remap := make(map[uint32]uint32, len(keep))
+	for i, v := range keep {
+		remap[v] = uint32(i)
+	}
+	b := NewBuilder(len(keep))
+	b.SetName(g.name + "-induced")
+	for _, v := range keep {
+		for _, u := range g.Neighbors(v) {
+			if u > v {
+				if ru, ok := remap[u]; ok {
+					b.AddEdge(remap[v], ru)
+				}
+			}
+		}
+	}
+	if g.labels != nil {
+		labels := make([]uint32, len(keep))
+		for i, v := range keep {
+			labels[i] = g.labels[v]
+		}
+		b.SetLabels(labels)
+	}
+	sub, err := b.Build()
+	if err != nil {
+		panic(err) // unreachable: labels sized to match
+	}
+	return sub
+}

@@ -1,0 +1,324 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"decomine/internal/vset"
+)
+
+// triangle plus a pendant: 0-1, 1-2, 0-2, 2-3
+func testGraph() *Graph {
+	return FromEdges(4, [][2]uint32{{0, 1}, {1, 2}, {0, 2}, {2, 3}})
+}
+
+func TestBuildBasics(t *testing.T) {
+	g := testGraph()
+	if g.NumVertices() != 4 {
+		t.Fatalf("NumVertices = %d", g.NumVertices())
+	}
+	if g.NumEdges() != 4 {
+		t.Fatalf("NumEdges = %d", g.NumEdges())
+	}
+	wantAdj := map[uint32][]uint32{
+		0: {1, 2},
+		1: {0, 2},
+		2: {0, 1, 3},
+		3: {2},
+	}
+	for v, want := range wantAdj {
+		if got := g.Neighbors(v); !vset.Equal(got, want) {
+			t.Errorf("Neighbors(%d) = %v, want %v", v, got, want)
+		}
+	}
+	if g.Degree(2) != 3 || g.Degree(3) != 1 {
+		t.Errorf("degrees wrong: %d %d", g.Degree(2), g.Degree(3))
+	}
+	if g.MaxDegree() != 3 {
+		t.Errorf("MaxDegree = %d", g.MaxDegree())
+	}
+}
+
+func TestBuildDedupAndSelfLoops(t *testing.T) {
+	g := FromEdges(3, [][2]uint32{
+		{0, 1}, {1, 0}, {0, 1}, // duplicates both directions
+		{1, 1}, // self loop
+		{1, 2},
+	})
+	if g.NumEdges() != 2 {
+		t.Fatalf("NumEdges = %d, want 2", g.NumEdges())
+	}
+	if !vset.Equal(g.Neighbors(1), []uint32{0, 2}) {
+		t.Fatalf("Neighbors(1) = %v", g.Neighbors(1))
+	}
+}
+
+func TestHasEdge(t *testing.T) {
+	g := testGraph()
+	cases := []struct {
+		u, v uint32
+		want bool
+	}{
+		{0, 1, true}, {1, 0, true}, {2, 3, true}, {0, 3, false}, {1, 3, false},
+	}
+	for _, c := range cases {
+		if got := g.HasEdge(c.u, c.v); got != c.want {
+			t.Errorf("HasEdge(%d,%d) = %v", c.u, c.v, got)
+		}
+	}
+}
+
+func TestEdgesIteration(t *testing.T) {
+	g := testGraph()
+	var edges [][2]uint32
+	g.Edges(func(u, v uint32) { edges = append(edges, [2]uint32{u, v}) })
+	if len(edges) != 4 {
+		t.Fatalf("Edges visited %d, want 4", len(edges))
+	}
+	for _, e := range edges {
+		if e[0] >= e[1] {
+			t.Errorf("edge %v not ordered", e)
+		}
+	}
+}
+
+func TestLabels(t *testing.T) {
+	b := NewBuilder(3)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.SetLabels([]uint32{5, 7, 5})
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Labeled() || g.Label(1) != 7 || g.Label(2) != 5 {
+		t.Fatalf("labels wrong: %v %d %d", g.Labeled(), g.Label(1), g.Label(2))
+	}
+	if g.NumLabels() != 2 {
+		t.Fatalf("NumLabels = %d", g.NumLabels())
+	}
+	b2 := NewBuilder(3)
+	b2.SetLabels([]uint32{1})
+	if _, err := b2.Build(); err == nil {
+		t.Fatal("want error for mismatched labels")
+	}
+}
+
+func TestLoadEdgeListRoundTrip(t *testing.T) {
+	in := "# comment\n0 1\n1 2\n\n% another comment\n0 2\n2 3\n"
+	g, err := LoadEdgeList(strings.NewReader(in), "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 4 || g.NumEdges() != 4 {
+		t.Fatalf("loaded %d/%d", g.NumVertices(), g.NumEdges())
+	}
+	var buf bytes.Buffer
+	if err := g.WriteEdgeList(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := LoadEdgeList(&buf, "t2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumVertices() != g.NumVertices() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip %d/%d vs %d/%d", g2.NumVertices(), g2.NumEdges(), g.NumVertices(), g.NumEdges())
+	}
+}
+
+func TestLoadEdgeListErrors(t *testing.T) {
+	if _, err := LoadEdgeList(strings.NewReader("0\n"), "t"); err == nil {
+		t.Error("want error for 1-field line")
+	}
+	if _, err := LoadEdgeList(strings.NewReader("a b\n"), "t"); err == nil {
+		t.Error("want error for non-numeric vertex")
+	}
+	if _, err := LoadEdgeList(strings.NewReader("0 -1\n"), "t"); err == nil {
+		t.Error("want error for negative vertex")
+	}
+}
+
+func TestGNPProperties(t *testing.T) {
+	g := GNP(500, 0.02, 1)
+	// Expected edges = C(500,2)*0.02 ≈ 2495. Allow wide tolerance.
+	m := g.NumEdges()
+	if m < 2000 || m > 3000 {
+		t.Fatalf("GNP edges = %d, want ~2495", m)
+	}
+	// Determinism.
+	g2 := GNP(500, 0.02, 1)
+	if g2.NumEdges() != m {
+		t.Fatal("GNP not deterministic")
+	}
+	if GNP(500, 0.02, 2).NumEdges() == m {
+		t.Log("different seeds gave same edge count (possible but unlikely)")
+	}
+	// Degenerate cases.
+	if GNP(1, 0.5, 1).NumEdges() != 0 {
+		t.Error("GNP(1) should have no edges")
+	}
+	if GNP(10, 0, 1).NumEdges() != 0 {
+		t.Error("GNP p=0 should have no edges")
+	}
+	if GNP(10, 1, 1).NumEdges() != 45 {
+		t.Error("GNP p=1 should be complete")
+	}
+}
+
+func TestRMATSkew(t *testing.T) {
+	g := RMAT(12, 8, 3)
+	if g.NumVertices() != 4096 {
+		t.Fatalf("|V| = %d", g.NumVertices())
+	}
+	// Power-law-ish: max degree far above average.
+	if float64(g.MaxDegree()) < 4*g.AvgDegree() {
+		t.Fatalf("RMAT not skewed: max=%d avg=%.1f", g.MaxDegree(), g.AvgDegree())
+	}
+}
+
+func TestSmallWorldClustering(t *testing.T) {
+	g := SmallWorld(400, 8, 0.1, 5)
+	if g.NumVertices() != 400 {
+		t.Fatalf("|V| = %d", g.NumVertices())
+	}
+	// Ring lattice with low rewiring: triangles abound. Count via wedges.
+	tri := 0
+	g.Edges(func(u, v uint32) {
+		tri += int(vset.IntersectCount(g.Neighbors(u), g.Neighbors(v)))
+	})
+	if tri == 0 {
+		t.Fatal("small world graph has no triangles")
+	}
+}
+
+func TestWithRandomLabels(t *testing.T) {
+	g := GNP(200, 0.05, 7).WithRandomLabels(5, 8)
+	if !g.Labeled() {
+		t.Fatal("not labeled")
+	}
+	seen := map[uint32]bool{}
+	for v := 0; v < g.NumVertices(); v++ {
+		l := g.Label(uint32(v))
+		if l >= 5 {
+			t.Fatalf("label %d out of range", l)
+		}
+		seen[l] = true
+	}
+	if len(seen) < 2 {
+		t.Fatal("labels not diverse")
+	}
+	// Deterministic.
+	g2 := GNP(200, 0.05, 7).WithRandomLabels(5, 8)
+	for v := 0; v < g.NumVertices(); v++ {
+		if g.Label(uint32(v)) != g2.Label(uint32(v)) {
+			t.Fatal("labels not deterministic")
+		}
+	}
+}
+
+func TestSampleEdges(t *testing.T) {
+	g := GNP(300, 0.05, 11)
+	m := int(g.NumEdges())
+	got := g.SampleEdges(50, 12)
+	if len(got) != 50 {
+		t.Fatalf("sampled %d, want 50", len(got))
+	}
+	seen := map[[2]uint32]bool{}
+	for _, e := range got {
+		if !g.HasEdge(e[0], e[1]) {
+			t.Fatalf("sampled non-edge %v", e)
+		}
+		if seen[e] {
+			t.Fatalf("duplicate sample %v", e)
+		}
+		seen[e] = true
+	}
+	// Sampling more than |E| returns all edges.
+	all := g.SampleEdges(m+100, 12)
+	if len(all) != m {
+		t.Fatalf("oversample returned %d, want %d", len(all), m)
+	}
+}
+
+func TestEdgeSampledSubgraph(t *testing.T) {
+	g := MustDataset("ee")
+	sub := g.EdgeSampledSubgraph(1000, 13)
+	if sub.NumEdges() > 1000 || sub.NumEdges() < 900 {
+		// Dedup can only shrink; reservoir gives exactly 1000 distinct edges.
+		t.Fatalf("sampled subgraph has %d edges", sub.NumEdges())
+	}
+	if sub.NumVertices() == 0 || sub.NumVertices() > 2000 {
+		t.Fatalf("sampled subgraph has %d vertices", sub.NumVertices())
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := testGraph()
+	sub := g.InducedSubgraph([]uint32{0, 1, 2})
+	if sub.NumVertices() != 3 || sub.NumEdges() != 3 {
+		t.Fatalf("induced = %d/%d, want 3/3 (triangle)", sub.NumVertices(), sub.NumEdges())
+	}
+	sub2 := g.InducedSubgraph([]uint32{0, 3})
+	if sub2.NumEdges() != 0 {
+		t.Fatalf("induced non-adjacent pair has %d edges", sub2.NumEdges())
+	}
+}
+
+func TestDatasets(t *testing.T) {
+	for _, name := range DatasetNames() {
+		if name == "fr" || name == "rmat" || name == "lj" {
+			continue // big ones exercised by the harness, not unit tests
+		}
+		g, err := Dataset(name)
+		if err != nil {
+			t.Fatalf("Dataset(%q): %v", name, err)
+		}
+		if g.NumVertices() == 0 || g.NumEdges() == 0 {
+			t.Errorf("dataset %q empty: %s", name, g)
+		}
+		// Cached: same pointer.
+		g2, _ := Dataset(name)
+		if g != g2 {
+			t.Errorf("dataset %q not cached", name)
+		}
+	}
+	if _, err := Dataset("nope"); err == nil {
+		t.Error("want error for unknown dataset")
+	}
+}
+
+func TestQuickAdjacencySymmetricSorted(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(50)
+		b := NewBuilder(n)
+		for i := 0; i < n*3; i++ {
+			b.AddEdge(uint32(r.Intn(n)), uint32(r.Intn(n)))
+		}
+		g, err := b.Build()
+		if err != nil {
+			return false
+		}
+		for v := 0; v < g.NumVertices(); v++ {
+			nb := g.Neighbors(uint32(v))
+			if !vset.IsSorted(nb) {
+				return false
+			}
+			for _, u := range nb {
+				if u == uint32(v) {
+					return false // self loop survived
+				}
+				if !vset.Contains(g.Neighbors(u), uint32(v)) {
+					return false // asymmetric
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,119 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// LoadEdgeList reads an undirected graph from a whitespace-separated
+// edge-list stream in the SNAP style: one "u v" pair per line, lines
+// beginning with '#' or '%' ignored. Duplicate edges and self loops are
+// dropped. Vertex IDs must be non-negative integers; they are used as-is
+// (dense renumbering is the caller's job if wanted).
+func LoadEdgeList(r io.Reader, name string) (*Graph, error) {
+	b := NewBuilder(0)
+	b.SetName(name)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' || line[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graph: line %d: want at least 2 fields, got %q", lineNo, line)
+		}
+		u, err := strconv.ParseUint(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad vertex %q: %v", lineNo, fields[0], err)
+		}
+		v, err := strconv.ParseUint(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad vertex %q: %v", lineNo, fields[1], err)
+		}
+		b.AddEdge(uint32(u), uint32(v))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: scanning edge list: %v", err)
+	}
+	return b.Build()
+}
+
+// LoadEdgeListFile opens path and calls LoadEdgeList. An optional labels
+// file (path + ".labels", one integer label per vertex per line) is
+// attached if present.
+func LoadEdgeListFile(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	g, err := LoadEdgeList(f, path)
+	if err != nil {
+		return nil, err
+	}
+	lf, err := os.Open(path + ".labels")
+	if err != nil {
+		if os.IsNotExist(err) {
+			return g, nil
+		}
+		return nil, err
+	}
+	defer lf.Close()
+	labels, err := loadLabels(lf, g.NumVertices())
+	if err != nil {
+		return nil, err
+	}
+	g.labels = labels
+	return g, nil
+}
+
+func loadLabels(r io.Reader, n int) ([]uint32, error) {
+	labels := make([]uint32, 0, n)
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' {
+			continue
+		}
+		l, err := strconv.ParseUint(line, 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: bad label %q: %v", line, err)
+		}
+		labels = append(labels, uint32(l))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(labels) != n {
+		return nil, fmt.Errorf("graph: %d labels for %d vertices", len(labels), n)
+	}
+	return labels, nil
+}
+
+// WriteEdgeList writes the graph as "u v" lines (u < v), suitable for
+// LoadEdgeList. Used by cmd/graphgen.
+func (g *Graph) WriteEdgeList(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# %s |V|=%d |E|=%d\n", g.nonEmptyName(), g.NumVertices(), g.NumEdges()); err != nil {
+		return err
+	}
+	var werr error
+	g.Edges(func(u, v uint32) {
+		if werr != nil {
+			return
+		}
+		_, werr = fmt.Fprintf(bw, "%d %d\n", u, v)
+	})
+	if werr != nil {
+		return werr
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,96 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestLoadEdgeListFileWithLabels(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.txt")
+	g := GNP(50, 0.1, 404).WithRandomLabels(4, 405)
+
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.WriteEdgeList(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	lf, err := os.Create(path + ".labels")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := bufio.NewWriter(lf)
+	for v := 0; v < g.NumVertices(); v++ {
+		fmt.Fprintln(w, g.Label(uint32(v)))
+	}
+	w.Flush()
+	lf.Close()
+
+	got, err := LoadEdgeListFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumEdges() != g.NumEdges() {
+		t.Fatalf("edges %d vs %d", got.NumEdges(), g.NumEdges())
+	}
+	if !got.Labeled() {
+		t.Fatal("labels not loaded")
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		if got.Label(uint32(v)) != g.Label(uint32(v)) {
+			t.Fatalf("label mismatch at %d", v)
+		}
+	}
+}
+
+func TestLoadEdgeListFileWithoutLabels(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.txt")
+	if err := os.WriteFile(path, []byte("0 1\n1 2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g, err := LoadEdgeListFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Labeled() {
+		t.Fatal("phantom labels")
+	}
+	if g.NumEdges() != 2 {
+		t.Fatalf("edges %d", g.NumEdges())
+	}
+}
+
+func TestLoadEdgeListFileMissing(t *testing.T) {
+	if _, err := LoadEdgeListFile(filepath.Join(t.TempDir(), "nope.txt")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestLoadEdgeListFileBadLabels(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.txt")
+	if err := os.WriteFile(path, []byte("0 1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Wrong number of labels.
+	if err := os.WriteFile(path+".labels", []byte("1\n2\n3\n4\n5\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadEdgeListFile(path); err == nil {
+		t.Fatal("label count mismatch accepted")
+	}
+	// Non-numeric label.
+	if err := os.WriteFile(path+".labels", []byte("a\nb\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadEdgeListFile(path); err == nil {
+		t.Fatal("bad label accepted")
+	}
+}

@@ -1,0 +1,332 @@
+package pattern
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+)
+
+// Isomorphic reports whether p and q are isomorphic (respecting label
+// constraints: vertex labels must match exactly, wildcards only match
+// wildcards).
+func Isomorphic(p, q *Pattern) bool {
+	if p.n != q.n || p.NumEdges() != q.NumEdges() {
+		return false
+	}
+	dp, dq := p.DegreeSequence(), q.DegreeSequence()
+	for i := range dp {
+		if dp[i] != dq[i] {
+			return false
+		}
+	}
+	return findIso(p, q) != nil
+}
+
+// findIso returns a mapping f with f[i] = image in q of p's vertex i, or
+// nil if none exists.
+func findIso(p, q *Pattern) []int {
+	f := make([]int, p.n)
+	used := uint32(0)
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == p.n {
+			return true
+		}
+		for c := 0; c < q.n; c++ {
+			if used&(1<<uint(c)) != 0 {
+				continue
+			}
+			if p.Degree(i) != q.Degree(c) || p.Label(i) != q.Label(c) {
+				continue
+			}
+			ok := true
+			for j := 0; j < i; j++ {
+				if p.HasEdge(i, j) != q.HasEdge(c, f[j]) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			f[i] = c
+			used |= 1 << uint(c)
+			if rec(i + 1) {
+				return true
+			}
+			used &^= 1 << uint(c)
+		}
+		return false
+	}
+	if rec(0) {
+		return f
+	}
+	return nil
+}
+
+// Automorphisms returns every permutation σ (as a slice mapping vertex ->
+// image) preserving adjacency and labels. The identity is always first.
+func (p *Pattern) Automorphisms() [][]int {
+	var out [][]int
+	f := make([]int, p.n)
+	used := uint32(0)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == p.n {
+			out = append(out, append([]int(nil), f...))
+			return
+		}
+		for c := 0; c < p.n; c++ {
+			if used&(1<<uint(c)) != 0 {
+				continue
+			}
+			if p.Degree(i) != p.Degree(c) || p.Label(i) != p.Label(c) {
+				continue
+			}
+			ok := true
+			for j := 0; j < i; j++ {
+				if p.HasEdge(i, j) != p.HasEdge(c, f[j]) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			f[i] = c
+			used |= 1 << uint(c)
+			rec(i + 1)
+			used &^= 1 << uint(c)
+		}
+	}
+	rec(0)
+	// Move the identity to the front for deterministic consumers.
+	for i, σ := range out {
+		id := true
+		for v, img := range σ {
+			if v != img {
+				id = false
+				break
+			}
+		}
+		if id {
+			out[0], out[i] = out[i], out[0]
+			break
+		}
+	}
+	return out
+}
+
+// AutomorphismCount returns |Aut(p)|, the multiplicity used to convert
+// injective-mapping counts into embedding counts.
+func (p *Pattern) AutomorphismCount() int64 {
+	return int64(len(p.Automorphisms()))
+}
+
+// Restriction is a symmetry-breaking constraint requiring the input-graph
+// vertex matched to pattern vertex Less to have a smaller ID than the one
+// matched to pattern vertex Greater.
+type Restriction struct {
+	Less, Greater int
+}
+
+// SymmetryBreaking synthesizes a set of restrictions that preserves
+// exactly one automorphism-canonical matching per embedding, using the
+// orbit–stabilizer chain (Grochow–Kellis): repeatedly pin the smallest
+// vertex with a nontrivial orbit to the minimum of its orbit, then
+// restrict the group to its stabilizer. The product of the orbit sizes
+// equals |Aut(p)|, so the surviving matchings count each embedding once.
+func (p *Pattern) SymmetryBreaking() []Restriction {
+	var out []Restriction
+	auts := p.Automorphisms()
+	for v := 0; v < p.n && len(auts) > 1; v++ {
+		orbit := map[int]bool{}
+		for _, σ := range auts {
+			orbit[σ[v]] = true
+		}
+		if len(orbit) > 1 {
+			for u := range orbit {
+				if u != v {
+					out = append(out, Restriction{Less: v, Greater: u})
+				}
+			}
+		}
+		var stab [][]int
+		for _, σ := range auts {
+			if σ[v] == v {
+				stab = append(stab, σ)
+			}
+		}
+		auts = stab
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Less != out[j].Less {
+			return out[i].Less < out[j].Less
+		}
+		return out[i].Greater < out[j].Greater
+	})
+	return out
+}
+
+// Code is a canonical code: equal codes iff isomorphic patterns.
+type Code string
+
+// Canonical returns a canonical code for p. Vertices are first ordered by
+// (degree desc, label), then the adjacency bit matrix is minimized over
+// all permutations that respect this partition into (degree,label)
+// classes. Any isomorphism preserves degrees and labels, so isomorphic
+// patterns share a code.
+func (p *Pattern) Canonical() Code {
+	if p.n == 0 {
+		return ""
+	}
+	type class struct {
+		deg   int
+		label uint32
+	}
+	byClass := map[class][]int{}
+	for v := 0; v < p.n; v++ {
+		c := class{p.Degree(v), p.Label(v)}
+		byClass[c] = append(byClass[c], v)
+	}
+	classes := make([]class, 0, len(byClass))
+	for c := range byClass {
+		classes = append(classes, c)
+	}
+	sort.Slice(classes, func(i, j int) bool {
+		if classes[i].deg != classes[j].deg {
+			return classes[i].deg > classes[j].deg
+		}
+		return classes[i].label < classes[j].label
+	})
+
+	best := ""
+	perm := make([]int, 0, p.n) // perm[newID] = oldID
+	var rec func(ci int)
+	encode := func() string {
+		inv := make([]int, p.n)
+		for newV, oldV := range perm {
+			inv[oldV] = newV
+		}
+		// Upper-triangular adjacency bits of the permuted pattern.
+		var sb strings.Builder
+		for i := 0; i < p.n; i++ {
+			for j := i + 1; j < p.n; j++ {
+				if p.HasEdge(perm[i], perm[j]) {
+					sb.WriteByte('1')
+				} else {
+					sb.WriteByte('0')
+				}
+			}
+		}
+		return sb.String()
+	}
+	rec = func(ci int) {
+		if ci == len(classes) {
+			if s := encode(); best == "" || s < best {
+				best = s
+			}
+			return
+		}
+		members := byClass[classes[ci]]
+		permuteInto(members, &perm, func() { rec(ci + 1) })
+	}
+	rec(0)
+
+	// Prefix the code with size, degree/label header so different shapes
+	// cannot collide.
+	var hdr strings.Builder
+	fmt.Fprintf(&hdr, "n%d:", p.n)
+	for _, c := range classes {
+		fmt.Fprintf(&hdr, "d%dx%d", c.deg, len(byClass[c]))
+		if c.label != NoLabel {
+			fmt.Fprintf(&hdr, "l%d", c.label)
+		}
+		hdr.WriteByte(';')
+	}
+	return Code(hdr.String() + best)
+}
+
+// permuteInto enumerates all orderings of members appended to *perm,
+// invoking fn for each.
+func permuteInto(members []int, perm *[]int, fn func()) {
+	if len(members) == 0 {
+		fn()
+		return
+	}
+	for i := range members {
+		members[0], members[i] = members[i], members[0]
+		*perm = append(*perm, members[0])
+		permuteInto(members[1:], perm, fn)
+		*perm = (*perm)[:len(*perm)-1]
+		members[0], members[i] = members[i], members[0]
+	}
+}
+
+// SpanningSubCount returns the number of spanning subgraphs of q that are
+// isomorphic to p (both on the same number of vertices): the coefficient
+// c(p,q) in the edge-induced -> vertex-induced conversion system
+// cnt_ei(p) = Σ_q c(p,q)·cnt_vi(q).
+func SpanningSubCount(p, q *Pattern) int64 {
+	if p.n != q.n || p.NumEdges() > q.NumEdges() {
+		return 0
+	}
+	// Count injective maps f: V(p)->V(q) with p-edges mapped to q-edges.
+	var cnt int64
+	f := make([]int, p.n)
+	used := uint32(0)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == p.n {
+			cnt++
+			return
+		}
+		for c := 0; c < q.n; c++ {
+			if used&(1<<uint(c)) != 0 {
+				continue
+			}
+			if p.Degree(i) > q.Degree(c) {
+				continue
+			}
+			ok := true
+			for j := 0; j < i; j++ {
+				if p.HasEdge(i, j) && !q.HasEdge(c, f[j]) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			f[i] = c
+			used |= 1 << uint(c)
+			rec(i + 1)
+			used &^= 1 << uint(c)
+		}
+	}
+	rec(0)
+	return cnt / p.AutomorphismCount()
+}
+
+// OrbitOf returns the orbit of vertex v under Aut(p) as a bitmask.
+func (p *Pattern) OrbitOf(v int) uint32 {
+	var mask uint32
+	for _, σ := range p.Automorphisms() {
+		mask |= 1 << uint(σ[v])
+	}
+	return mask
+}
+
+// IsSymmetricSubset reports whether the induced subpattern on the mask has
+// a nontrivial automorphism group — the precondition for pattern-aware
+// loop rewriting on that prefix.
+func (p *Pattern) IsSymmetricSubset(mask uint32) bool {
+	vs := MaskVertices(mask)
+	sub := p.InducedSub(vs)
+	return len(sub.Automorphisms()) > 1
+}
+
+// BitCount is a small helper exposing popcount for callers working with
+// vertex masks.
+func BitCount(mask uint32) int { return bits.OnesCount32(mask) }

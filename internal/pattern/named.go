@@ -1,0 +1,120 @@
+package pattern
+
+import "fmt"
+
+// Clique returns the complete pattern K_k.
+func Clique(k int) *Pattern {
+	p := New(k)
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			p.AddEdge(i, j)
+		}
+	}
+	return p
+}
+
+// Cycle returns the k-cycle C_k (k >= 3).
+func Cycle(k int) *Pattern {
+	if k < 3 {
+		panic("pattern: cycle needs k >= 3")
+	}
+	p := New(k)
+	for i := 0; i < k; i++ {
+		p.AddEdge(i, (i+1)%k)
+	}
+	return p
+}
+
+// Chain returns the k-vertex path P_k (the paper's "k-chain").
+func Chain(k int) *Pattern {
+	if k < 2 {
+		panic("pattern: chain needs k >= 2")
+	}
+	p := New(k)
+	for i := 0; i+1 < k; i++ {
+		p.AddEdge(i, i+1)
+	}
+	return p
+}
+
+// Star returns the k-vertex star: vertex 0 is the center with k-1 leaves.
+func Star(k int) *Pattern {
+	if k < 2 {
+		panic("pattern: star needs k >= 2")
+	}
+	p := New(k)
+	for i := 1; i < k; i++ {
+		p.AddEdge(0, i)
+	}
+	return p
+}
+
+// TailedTriangle returns the 4-vertex triangle with a pendant edge used in
+// the paper's computation-reuse example (Figure 5).
+func TailedTriangle() *Pattern {
+	return MustParse("0-1,0-2,1-2,2-3")
+}
+
+// House returns the 5-cycle with one chord (a common size-5 benchmark
+// pattern).
+func House() *Pattern {
+	return MustParse("0-1,1-2,2-3,3-4,4-0,0-2")
+}
+
+// Fig6Pattern returns the running-example pattern of the paper's Figure 6:
+// five vertices A..E = 0..4 with cutting set {A,B,D} splitting into
+// subpatterns p1=(A,B,D,E) and p2=(A,B,C,D). The concrete shape: a dense
+// core A-B, A-D, B-D with C attached to A,B,D and E attached to A,B,D.
+// (The figure is described, not printed, in the text; this realization has
+// exactly the stated decomposition structure: removing {A,B,D} isolates C
+// and E.)
+func Fig6Pattern() *Pattern {
+	return MustParse("0-1,0-3,1-3,0-2,1-2,2-3,0-4,1-4,3-4")
+}
+
+// Named evaluation patterns of Figure 11(a). The figure renders as
+// pictures only, so the shapes here are stand-ins in the stated size
+// classes, documented in DESIGN.md: p1..p3 are size-5 patterns with
+// distinct decomposition behaviour; p4 and p5 are the "two large patterns"
+// (size 6 and 7).
+var namedPatterns = map[string]func() *Pattern{
+	"p1": func() *Pattern { return House() },
+	"p2": func() *Pattern { return MustParse("0-1,0-2,1-2,2-3,3-4,2-4") }, // two triangles sharing a path (bowtie-ish)
+	"p3": func() *Pattern { return MustParse("0-1,1-2,2-3,3-4,4-0,0-2,1-3") },
+	"p4": func() *Pattern { return MustParse("0-1,1-2,2-3,3-4,4-5,5-0,0-2,3-5") }, // chorded 6-cycle
+	"p5": func() *Pattern { return MustParse("0-1,1-2,2-3,3-4,4-5,5-6,6-0,0-3") }, // chorded 7-cycle
+}
+
+// ByName returns a named benchmark pattern: clique-k, cycle-k, chain-k,
+// star-k, tailed-triangle, house, fig6, p1..p5.
+func ByName(name string) (*Pattern, error) {
+	if f, ok := namedPatterns[name]; ok {
+		return f(), nil
+	}
+	var k int
+	switch {
+	case parsed(name, "clique-%d", &k):
+		return Clique(k), nil
+	case parsed(name, "cycle-%d", &k):
+		if k < 3 {
+			return nil, fmt.Errorf("pattern: cycle-%d needs k >= 3", k)
+		}
+		return Cycle(k), nil
+	case parsed(name, "chain-%d", &k):
+		return Chain(k), nil
+	case parsed(name, "star-%d", &k):
+		return Star(k), nil
+	case name == "tailed-triangle":
+		return TailedTriangle(), nil
+	case name == "house":
+		return House(), nil
+	case name == "fig6":
+		return Fig6Pattern(), nil
+	}
+	return nil, fmt.Errorf("pattern: unknown named pattern %q", name)
+}
+
+func parsed(s, format string, k *int) bool {
+	n, err := fmt.Sscanf(s, format, k)
+	return err == nil && n == 1 && *k >= 2 && *k <= MaxVertices
+}

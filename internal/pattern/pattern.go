@@ -1,0 +1,354 @@
+// Package pattern implements pattern graphs and the pattern-level algebra
+// DecoMine's compiler is built on: isomorphism and automorphism machinery,
+// canonical codes, symmetry-breaking restriction synthesis, exhaustive
+// motif generation, and the vertex-induced/edge-induced conversion matrix.
+//
+// Patterns are tiny (the paper evaluates up to 8 vertices), so adjacency
+// is stored as per-vertex bitmask rows and most group-theoretic questions
+// are answered by pruned permutation search.
+package pattern
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// MaxVertices bounds pattern size. Bitmask rows use uint32, and
+// permutation searches are exponential in this bound, so it is kept small.
+const MaxVertices = 16
+
+// NoLabel marks an unconstrained vertex in a labeled pattern.
+const NoLabel = ^uint32(0)
+
+// Pattern is a small undirected simple graph, optionally vertex-labeled.
+// The zero Pattern is the empty pattern.
+type Pattern struct {
+	n      int
+	adj    []uint32 // adj[i] bit j set iff edge {i,j}; i==j never set
+	labels []uint32 // nil for unlabeled; NoLabel entries are wildcards
+}
+
+// New returns an edgeless pattern with n vertices.
+func New(n int) *Pattern {
+	if n < 0 || n > MaxVertices {
+		panic(fmt.Sprintf("pattern: size %d out of range", n))
+	}
+	return &Pattern{n: n, adj: make([]uint32, n)}
+}
+
+// Parse builds a pattern from an edge-list string such as "0-1,1-2,2-0".
+// Separators may be commas and/or spaces. Vertex count is 1 + the largest
+// endpoint mentioned.
+func Parse(s string) (*Pattern, error) {
+	p := New(0)
+	fields := strings.FieldsFunc(s, func(r rune) bool { return r == ',' || r == ' ' || r == ';' })
+	for _, f := range fields {
+		parts := strings.Split(f, "-")
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("pattern: bad edge %q", f)
+		}
+		u, err := strconv.Atoi(strings.TrimSpace(parts[0]))
+		if err != nil {
+			return nil, fmt.Errorf("pattern: bad vertex in %q: %v", f, err)
+		}
+		v, err := strconv.Atoi(strings.TrimSpace(parts[1]))
+		if err != nil {
+			return nil, fmt.Errorf("pattern: bad vertex in %q: %v", f, err)
+		}
+		if u < 0 || v < 0 || u >= MaxVertices || v >= MaxVertices {
+			return nil, fmt.Errorf("pattern: vertex out of range in %q", f)
+		}
+		if u == v {
+			return nil, fmt.Errorf("pattern: self loop %q", f)
+		}
+		for p.n <= max(u, v) {
+			p.grow()
+		}
+		p.AddEdge(u, v)
+	}
+	if p.n == 0 {
+		return nil, fmt.Errorf("pattern: no edges in %q", s)
+	}
+	return p, nil
+}
+
+// MustParse is Parse for statically known strings.
+func MustParse(s string) *Pattern {
+	p, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func (p *Pattern) grow() {
+	p.n++
+	p.adj = append(p.adj, 0)
+	if p.labels != nil {
+		p.labels = append(p.labels, NoLabel)
+	}
+}
+
+// NumVertices returns the number of pattern vertices.
+func (p *Pattern) NumVertices() int { return p.n }
+
+// NumEdges returns the number of pattern edges.
+func (p *Pattern) NumEdges() int {
+	m := 0
+	for _, row := range p.adj {
+		m += bits.OnesCount32(row)
+	}
+	return m / 2
+}
+
+// AddEdge inserts the undirected edge {u,v}.
+func (p *Pattern) AddEdge(u, v int) {
+	if u == v || u < 0 || v < 0 || u >= p.n || v >= p.n {
+		panic(fmt.Sprintf("pattern: bad edge (%d,%d) in %d-pattern", u, v, p.n))
+	}
+	p.adj[u] |= 1 << uint(v)
+	p.adj[v] |= 1 << uint(u)
+}
+
+// RemoveEdge deletes the undirected edge {u,v} if present.
+func (p *Pattern) RemoveEdge(u, v int) {
+	p.adj[u] &^= 1 << uint(v)
+	p.adj[v] &^= 1 << uint(u)
+}
+
+// HasEdge reports whether {u,v} is an edge.
+func (p *Pattern) HasEdge(u, v int) bool {
+	return u != v && p.adj[u]&(1<<uint(v)) != 0
+}
+
+// AdjMask returns the neighbor bitmask of v.
+func (p *Pattern) AdjMask(v int) uint32 { return p.adj[v] }
+
+// Degree returns deg(v).
+func (p *Pattern) Degree(v int) int { return bits.OnesCount32(p.adj[v]) }
+
+// SetLabel constrains pattern vertex v to match only input vertices with
+// the given label.
+func (p *Pattern) SetLabel(v int, label uint32) {
+	if p.labels == nil {
+		p.labels = make([]uint32, p.n)
+		for i := range p.labels {
+			p.labels[i] = NoLabel
+		}
+	}
+	p.labels[v] = label
+}
+
+// Label returns the label constraint of v (NoLabel if unconstrained).
+func (p *Pattern) Label(v int) uint32 {
+	if p.labels == nil {
+		return NoLabel
+	}
+	return p.labels[v]
+}
+
+// Labeled reports whether any vertex carries a label constraint.
+func (p *Pattern) Labeled() bool {
+	if p.labels == nil {
+		return false
+	}
+	for _, l := range p.labels {
+		if l != NoLabel {
+			return true
+		}
+	}
+	return false
+}
+
+// Clone returns a deep copy.
+func (p *Pattern) Clone() *Pattern {
+	q := &Pattern{n: p.n, adj: append([]uint32(nil), p.adj...)}
+	if p.labels != nil {
+		q.labels = append([]uint32(nil), p.labels...)
+	}
+	return q
+}
+
+// Edges returns the edge list with u < v, sorted.
+func (p *Pattern) Edges() [][2]int {
+	var out [][2]int
+	for u := 0; u < p.n; u++ {
+		row := p.adj[u] >> uint(u+1) << uint(u+1)
+		for row != 0 {
+			v := bits.TrailingZeros32(row)
+			out = append(out, [2]int{u, v})
+			row &= row - 1
+		}
+	}
+	return out
+}
+
+// String renders the pattern as a parseable edge list, with label
+// annotations when present.
+func (p *Pattern) String() string {
+	var sb strings.Builder
+	es := p.Edges()
+	for i, e := range es {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%d-%d", e[0], e[1])
+	}
+	if len(es) == 0 {
+		fmt.Fprintf(&sb, "K%d~", p.n) // edgeless
+	}
+	if p.Labeled() {
+		sb.WriteString(" [")
+		for v := 0; v < p.n; v++ {
+			if v > 0 {
+				sb.WriteByte(' ')
+			}
+			if l := p.Label(v); l == NoLabel {
+				sb.WriteByte('*')
+			} else {
+				fmt.Fprintf(&sb, "%d", l)
+			}
+		}
+		sb.WriteByte(']')
+	}
+	return sb.String()
+}
+
+// Relabel returns the pattern with vertices permuted: vertex i of the
+// result corresponds to vertex perm[i] of p (perm maps new -> old).
+func (p *Pattern) Relabel(perm []int) *Pattern {
+	if len(perm) != p.n {
+		panic("pattern: bad permutation length")
+	}
+	q := New(p.n)
+	inv := make([]int, p.n)
+	for newV, oldV := range perm {
+		inv[oldV] = newV
+	}
+	for u := 0; u < p.n; u++ {
+		row := p.adj[u]
+		for row != 0 {
+			v := bits.TrailingZeros32(row)
+			row &= row - 1
+			if u < v {
+				q.AddEdge(inv[u], inv[v])
+			}
+		}
+	}
+	if p.labels != nil {
+		for newV, oldV := range perm {
+			if p.labels[oldV] != NoLabel {
+				q.SetLabel(newV, p.labels[oldV])
+			}
+		}
+	}
+	return q
+}
+
+// InducedSub returns the subpattern induced by the given vertices
+// (renumbered 0..len-1 in the order given) along with the mapping
+// new -> old, which equals the input slice.
+func (p *Pattern) InducedSub(vs []int) *Pattern {
+	q := New(len(vs))
+	for i, u := range vs {
+		for j := i + 1; j < len(vs); j++ {
+			if p.HasEdge(u, vs[j]) {
+				q.AddEdge(i, j)
+			}
+		}
+	}
+	if p.labels != nil {
+		for i, u := range vs {
+			if p.labels[u] != NoLabel {
+				q.SetLabel(i, p.labels[u])
+			}
+		}
+	}
+	return q
+}
+
+// Connected reports whether the pattern is connected (the empty pattern
+// and single vertex are connected).
+func (p *Pattern) Connected() bool {
+	if p.n <= 1 {
+		return true
+	}
+	full := uint32(1<<uint(p.n)) - 1
+	return p.reach(0, 0) == full
+}
+
+// reach returns the bitmask of vertices reachable from start avoiding the
+// vertices in the avoid mask. start must not be in avoid.
+func (p *Pattern) reach(start int, avoid uint32) uint32 {
+	seen := uint32(1 << uint(start))
+	frontier := seen
+	for frontier != 0 {
+		next := uint32(0)
+		for f := frontier; f != 0; f &= f - 1 {
+			v := bits.TrailingZeros32(f)
+			next |= p.adj[v]
+		}
+		next &^= seen | avoid
+		seen |= next
+		frontier = next
+	}
+	return seen
+}
+
+// ComponentsAvoiding returns the vertex bitmasks of the connected
+// components of p minus the vertices in the avoid mask. This is the
+// primitive behind cutting-set enumeration: avoid is a candidate vertex
+// cutting set, and the result has length >= 2 iff it cuts the pattern.
+func (p *Pattern) ComponentsAvoiding(avoid uint32) []uint32 {
+	var comps []uint32
+	remaining := (uint32(1<<uint(p.n)) - 1) &^ avoid
+	for remaining != 0 {
+		v := bits.TrailingZeros32(remaining)
+		comp := p.reach(v, avoid)
+		comps = append(comps, comp)
+		remaining &^= comp
+	}
+	return comps
+}
+
+// Equal reports structural equality under the identity mapping (same
+// vertex numbering), including labels.
+func (p *Pattern) Equal(q *Pattern) bool {
+	if p.n != q.n {
+		return false
+	}
+	for i := range p.adj {
+		if p.adj[i] != q.adj[i] {
+			return false
+		}
+	}
+	for v := 0; v < p.n; v++ {
+		if p.Label(v) != q.Label(v) {
+			return false
+		}
+	}
+	return true
+}
+
+// DegreeSequence returns the sorted degree sequence, a cheap isomorphism
+// invariant.
+func (p *Pattern) DegreeSequence() []int {
+	ds := make([]int, p.n)
+	for v := range ds {
+		ds[v] = p.Degree(v)
+	}
+	sort.Ints(ds)
+	return ds
+}
+
+// MaskVertices expands a bitmask into a sorted vertex slice.
+func MaskVertices(mask uint32) []int {
+	var vs []int
+	for m := mask; m != 0; m &= m - 1 {
+		vs = append(vs, bits.TrailingZeros32(m))
+	}
+	return vs
+}

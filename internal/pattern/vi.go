@@ -1,0 +1,73 @@
+package pattern
+
+// This file implements the edge-induced <-> vertex-induced conversion the
+// paper relies on (§2.2): pattern decomposition natively counts
+// edge-induced embeddings, and vertex-induced counts are recovered by
+// inclusion-exclusion over supergraph patterns, generalizing the paper's
+// example cnt_vi(3-chain) = cnt_ei(3-chain) - 3·cnt_ei(triangle).
+
+// SupergraphClasses returns one representative per isomorphism class of
+// the graphs on p's vertex set that contain p as a spanning subgraph,
+// excluding p's own class, ordered by increasing edge count.
+func SupergraphClasses(p *Pattern) []*Pattern {
+	seen := map[Code]bool{p.Canonical(): true}
+	var out []*Pattern
+	for _, q := range Supergraphs(p) {
+		code := q.Canonical()
+		if seen[code] {
+			continue
+		}
+		seen[code] = true
+		out = append(out, q)
+	}
+	// Sort by edge count ascending for the triangular solve.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j-1].NumEdges() > out[j].NumEdges(); j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out
+}
+
+// VertexInducedFromEdgeInduced solves the unitriangular system
+//
+//	cnt_ei(p) = Σ_{q ⊇ p} SpanningSubCount(p,q) · cnt_vi(q)
+//
+// for cnt_vi(p), given edge-induced counts for p and every supergraph
+// class of p. ei maps canonical codes to edge-induced embedding counts;
+// the solve proceeds from the densest pattern (the clique, where
+// cnt_vi = cnt_ei) downward.
+func VertexInducedFromEdgeInduced(p *Pattern, ei map[Code]int64) int64 {
+	supers := SupergraphClasses(p)
+	// Solve vi for every supergraph class, densest first.
+	vi := map[Code]int64{}
+	all := append(append([]*Pattern(nil), supers...), p)
+	// densest-first order
+	for i := 1; i < len(all); i++ {
+		for j := i; j > 0 && all[j-1].NumEdges() < all[j].NumEdges(); j-- {
+			all[j-1], all[j] = all[j], all[j-1]
+		}
+	}
+	for _, q := range all {
+		code := q.Canonical()
+		v := ei[code]
+		for _, r := range all {
+			if r.NumEdges() <= q.NumEdges() {
+				continue
+			}
+			c := SpanningSubCount(q, r)
+			if c != 0 {
+				v -= c * vi[r.Canonical()]
+			}
+		}
+		vi[code] = v
+	}
+	return vi[p.Canonical()]
+}
+
+// ConversionPlan lists the edge-induced pattern classes whose counts are
+// required to derive the vertex-induced count of p: p itself plus its
+// supergraph classes.
+func ConversionPlan(p *Pattern) []*Pattern {
+	return append([]*Pattern{p}, SupergraphClasses(p)...)
+}

@@ -1,0 +1,238 @@
+// Package sampling implements the profiling step of DecoMine's
+// approximate-mining cost model (paper §6.2): sample a fixed number of
+// edges from the input graph, then obtain approximate and relative counts
+// of all small patterns on the sample with an ASAP-style neighbor
+// sampling estimator. The counts live in a table keyed by canonical
+// pattern code, queried by the compiler during cost estimation; missing
+// (larger) patterns are profiled on demand and cached.
+package sampling
+
+import (
+	"math/rand"
+	"sync"
+
+	"decomine/internal/graph"
+	"decomine/internal/pattern"
+	"decomine/internal/vset"
+)
+
+// Profile is the pattern-count table for one input graph.
+type Profile struct {
+	mu     sync.Mutex
+	sample *graph.Graph
+	edges  [][2]uint32
+	trials int
+	rng    *rand.Rand
+	counts map[pattern.Code]float64
+	// SampleVertices/SampleEdges record the profiled subgraph size for
+	// reporting.
+	SampleVertices int
+	SampleEdges    int64
+}
+
+// Options configures profiling.
+type Options struct {
+	// SampleEdges is the number of edges sampled from the input graph
+	// (paper default is large, e.g. 32M; scaled here). 0 means 200k.
+	SampleEdges int
+	// Trials is the number of neighbor-sampling walks per pattern.
+	// 0 means 30k.
+	Trials int
+	// MaxSize pre-profiles all connected patterns up to this vertex
+	// count. 0 means 5 ("collecting approximate counts for patterns up
+	// to 5 vertices is mostly enough").
+	MaxSize int
+	// Seed fixes the random streams.
+	Seed int64
+}
+
+// BuildProfile samples the graph and pre-computes the count table.
+func BuildProfile(g *graph.Graph, opts Options) *Profile {
+	if opts.SampleEdges == 0 {
+		opts.SampleEdges = 200_000
+	}
+	if opts.Trials == 0 {
+		opts.Trials = 30_000
+	}
+	if opts.MaxSize == 0 {
+		opts.MaxSize = 5
+	}
+	sample := g
+	if g.NumEdges() > int64(opts.SampleEdges) {
+		sample = g.EdgeSampledSubgraph(opts.SampleEdges, opts.Seed)
+	}
+	p := &Profile{
+		sample:         sample,
+		trials:         opts.Trials,
+		rng:            rand.New(rand.NewSource(opts.Seed + 1)),
+		counts:         map[pattern.Code]float64{},
+		SampleVertices: sample.NumVertices(),
+		SampleEdges:    sample.NumEdges(),
+	}
+	p.edges = make([][2]uint32, 0, sample.NumEdges())
+	sample.Edges(func(u, v uint32) { p.edges = append(p.edges, [2]uint32{u, v}) })
+	for k := 2; k <= opts.MaxSize; k++ {
+		for _, pat := range pattern.ConnectedPatterns(k) {
+			p.counts[pat.Canonical()] = p.estimate(pat)
+		}
+	}
+	return p
+}
+
+// Count returns the approximate relative tuple count of a connected
+// pattern on the sampled graph, profiling on demand if the pattern was
+// not pre-computed. The second result is false for patterns the profiler
+// cannot estimate (disconnected or > MaxVertices).
+func (p *Profile) Count(pat *pattern.Pattern) (float64, bool) {
+	if pat.NumVertices() < 2 {
+		return float64(p.SampleVertices), true
+	}
+	if !pat.Connected() {
+		return 0, false
+	}
+	code := pat.Canonical()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if c, ok := p.counts[code]; ok {
+		return c, true
+	}
+	c := p.estimate(pat)
+	p.counts[code] = c
+	return c, true
+}
+
+// CountByCode returns the cached count for a canonical code, if present.
+func (p *Profile) CountByCode(code pattern.Code) (float64, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	c, ok := p.counts[code]
+	return c, ok
+}
+
+// estimate runs the neighbor-sampling estimator: root a random edge,
+// extend one vertex at a time along a connected matching order, weight by
+// the product of candidate-set sizes. The expectation of the weight
+// equals the number of injective tuples matching the pattern.
+func (p *Profile) estimate(pat *pattern.Pattern) float64 {
+	order := connectedOrder(pat)
+	if order == nil {
+		return 0
+	}
+	g := p.sample
+	edges := p.edges
+	m := int64(len(edges))
+	if m == 0 {
+		return 0
+	}
+	n := pat.NumVertices()
+	bound := make([]uint32, n)
+	var cand []uint32
+	var scratch []uint32
+	var total float64
+	for trial := 0; trial < p.trials; trial++ {
+		e := edges[p.rng.Intn(len(edges))]
+		u, v := e[0], e[1]
+		if p.rng.Intn(2) == 0 {
+			u, v = v, u
+		}
+		weight := 2 * float64(m)
+		bound[order[0]], bound[order[1]] = u, v
+		ok := true
+		// The first two pattern vertices must be adjacent (connected
+		// order guarantees it); remaining are sampled from candidates.
+		for i := 2; i < n && ok; i++ {
+			pv := order[i]
+			cand = cand[:0]
+			first := true
+			for j := 0; j < i; j++ {
+				if !pat.HasEdge(pv, order[j]) {
+					continue
+				}
+				nb := g.Neighbors(bound[order[j]])
+				if first {
+					cand = append(cand[:0], nb...)
+					first = false
+				} else {
+					scratch = vset.Intersect(scratch, cand, nb)
+					cand, scratch = scratch, cand
+				}
+			}
+			// Distinctness: drop already-bound vertices.
+			k := 0
+			for _, x := range cand {
+				dup := false
+				for j := 0; j < i; j++ {
+					if bound[order[j]] == x {
+						dup = true
+						break
+					}
+				}
+				if !dup {
+					cand[k] = x
+					k++
+				}
+			}
+			cand = cand[:k]
+			if len(cand) == 0 {
+				ok = false
+				break
+			}
+			weight *= float64(len(cand))
+			bound[pv] = cand[p.rng.Intn(len(cand))]
+		}
+		if !ok {
+			continue
+		}
+		// Verify the remaining (non-tree) pattern edges: extension used
+		// only bound-neighbor intersections, which already enforce all
+		// edges to earlier vertices, so the sample is exact.
+		total += weight
+	}
+	return total / float64(p.trials)
+}
+
+// connectedOrder returns a matching order in which every vertex after the
+// first is adjacent to an earlier one, or nil if the pattern is
+// disconnected.
+func connectedOrder(pat *pattern.Pattern) []int {
+	n := pat.NumVertices()
+	if n < 2 || !pat.Connected() {
+		return nil
+	}
+	// Start from the highest-degree vertex and grow greedily by degree.
+	start := 0
+	for v := 1; v < n; v++ {
+		if pat.Degree(v) > pat.Degree(start) {
+			start = v
+		}
+	}
+	order := []int{start}
+	used := map[int]bool{start: true}
+	for len(order) < n {
+		best := -1
+		for v := 0; v < n; v++ {
+			if used[v] {
+				continue
+			}
+			adj := false
+			for _, u := range order {
+				if pat.HasEdge(u, v) {
+					adj = true
+					break
+				}
+			}
+			if !adj {
+				continue
+			}
+			if best < 0 || pat.Degree(v) > pat.Degree(best) {
+				best = v
+			}
+		}
+		if best < 0 {
+			return nil
+		}
+		order = append(order, best)
+		used[best] = true
+	}
+	return order
+}

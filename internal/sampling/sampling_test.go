@@ -1,0 +1,149 @@
+package sampling
+
+import (
+	"math"
+	"testing"
+
+	"decomine/internal/graph"
+	"decomine/internal/pattern"
+)
+
+// bruteTuples counts injective tuples matching pat on g by backtracking.
+func bruteTuples(g *graph.Graph, pat *pattern.Pattern) int64 {
+	n := pat.NumVertices()
+	bound := make([]uint32, n)
+	var cnt int64
+	var rec func(i int)
+	rec = func(i int) {
+		if i == n {
+			cnt++
+			return
+		}
+		for v := 0; v < g.NumVertices(); v++ {
+			x := uint32(v)
+			ok := true
+			for j := 0; j < i; j++ {
+				if bound[j] == x {
+					ok = false
+					break
+				}
+				if pat.HasEdge(i, j) && !g.HasEdge(x, bound[j]) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			bound[i] = x
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return cnt
+}
+
+func TestConnectedOrder(t *testing.T) {
+	for _, p := range []*pattern.Pattern{
+		pattern.Clique(4), pattern.Cycle(5), pattern.Chain(4), pattern.Star(5), pattern.House(),
+	} {
+		order := connectedOrder(p)
+		if len(order) != p.NumVertices() {
+			t.Fatalf("%s: order %v", p, order)
+		}
+		seen := map[int]bool{order[0]: true}
+		for i := 1; i < len(order); i++ {
+			adj := false
+			for j := 0; j < i; j++ {
+				if p.HasEdge(order[i], order[j]) {
+					adj = true
+				}
+			}
+			if !adj {
+				t.Fatalf("%s: order %v not connected at %d", p, order, i)
+			}
+			if seen[order[i]] {
+				t.Fatalf("%s: duplicate in order %v", p, order)
+			}
+			seen[order[i]] = true
+		}
+	}
+	if connectedOrder(pattern.MustParse("0-1,2-3")) != nil {
+		t.Fatal("disconnected pattern got an order")
+	}
+}
+
+func TestEstimatorAccuracyOnSmallGraph(t *testing.T) {
+	// On a small graph the estimator (with many trials) must land within
+	// ~20% of the exact tuple counts for frequent patterns.
+	g := graph.GNP(120, 0.12, 99)
+	prof := BuildProfile(g, Options{SampleEdges: 1 << 30, Trials: 60_000, MaxSize: 4, Seed: 7})
+	for _, pat := range []*pattern.Pattern{
+		pattern.Chain(3), pattern.Clique(3), pattern.Chain(4), pattern.Cycle(4),
+	} {
+		exact := float64(bruteTuples(g, pat))
+		if exact == 0 {
+			continue
+		}
+		got, ok := prof.Count(pat)
+		if !ok {
+			t.Fatalf("no estimate for %s", pat)
+		}
+		if rel := math.Abs(got-exact) / exact; rel > 0.2 {
+			t.Errorf("%s: est %.0f vs exact %.0f (rel err %.2f)", pat, got, exact, rel)
+		}
+	}
+}
+
+func TestProfileRelativeOrdering(t *testing.T) {
+	// On any graph, 3-chains outnumber triangles (as tuple counts,
+	// 3-chain tuples >= 2x triangle tuples is typical for sparse GNP).
+	g := graph.GNP(500, 0.03, 5)
+	prof := BuildProfile(g, Options{Trials: 20_000, MaxSize: 3, Seed: 1})
+	chains, _ := prof.Count(pattern.Chain(3))
+	tris, _ := prof.Count(pattern.Clique(3))
+	if chains <= tris {
+		t.Fatalf("ordering wrong: chains %.0f <= triangles %.0f", chains, tris)
+	}
+}
+
+func TestProfileOnDemand(t *testing.T) {
+	g := graph.GNP(100, 0.1, 3)
+	prof := BuildProfile(g, Options{Trials: 5_000, MaxSize: 3, Seed: 2})
+	// Size-4 pattern not pre-profiled: computed on demand and cached.
+	c1, ok := prof.Count(pattern.Cycle(4))
+	if !ok {
+		t.Fatal("on-demand profiling failed")
+	}
+	c2, _ := prof.Count(pattern.Cycle(4))
+	if c1 != c2 {
+		t.Fatal("on-demand result not cached deterministically")
+	}
+	if _, ok := prof.CountByCode(pattern.Cycle(4).Canonical()); !ok {
+		t.Fatal("CountByCode missed cached entry")
+	}
+	// Disconnected pattern: no estimate.
+	if _, ok := prof.Count(pattern.MustParse("0-1,2-3")); ok {
+		t.Fatal("disconnected pattern estimated")
+	}
+}
+
+func TestProfileSamplesLargeGraphs(t *testing.T) {
+	g := graph.MustDataset("ee")
+	prof := BuildProfile(g, Options{SampleEdges: 2000, Trials: 2_000, MaxSize: 3, Seed: 3})
+	if prof.SampleEdges > 2000 {
+		t.Fatalf("sample has %d edges", prof.SampleEdges)
+	}
+	if c, ok := prof.Count(pattern.Clique(3)); !ok || c <= 0 {
+		t.Fatalf("triangle estimate %f %v on dense small-world sample", c, ok)
+	}
+}
+
+func TestSingleVertexCount(t *testing.T) {
+	g := graph.GNP(50, 0.1, 4)
+	prof := BuildProfile(g, Options{Trials: 100, MaxSize: 2, Seed: 5})
+	c, ok := prof.Count(pattern.New(1))
+	if !ok || c != float64(prof.SampleVertices) {
+		t.Fatalf("1-vertex count = %f %v", c, ok)
+	}
+}

@@ -1,0 +1,285 @@
+// Package vset implements the sorted vertex-set kernels that form the data
+// plane of the DecoMine engine. A vertex set is a strictly increasing slice
+// of uint32 vertex IDs. All binary operations write into a caller-provided
+// destination slice to keep the inner mining loops allocation-free; the
+// destination is grown (via append semantics) only when capacity is
+// insufficient.
+package vset
+
+// Set is a strictly increasing sequence of vertex IDs.
+type Set = []uint32
+
+// gallopThreshold is the size ratio beyond which Intersect switches from the
+// linear merge to galloping (exponential) search on the larger operand.
+const gallopThreshold = 32
+
+// Intersect writes the intersection of a and b into dst[:0] and returns the
+// result. dst may alias neither a nor b unless it is exactly a[:0] or b[:0]
+// (in-place intersection with the output no longer than either input is
+// safe because writes trail reads).
+func Intersect(dst, a, b Set) Set {
+	dst = dst[:0]
+	if len(a) == 0 || len(b) == 0 {
+		return dst
+	}
+	// Keep a as the smaller operand.
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	if len(b) >= len(a)*gallopThreshold {
+		return gallopIntersect(dst, a, b)
+	}
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		va, vb := a[i], b[j]
+		switch {
+		case va < vb:
+			i++
+		case va > vb:
+			j++
+		default:
+			dst = append(dst, va)
+			i++
+			j++
+		}
+	}
+	return dst
+}
+
+// gallopIntersect intersects the small set a against the much larger set b by
+// exponential probing followed by binary search.
+func gallopIntersect(dst, a, b Set) Set {
+	lo := 0
+	for _, v := range a {
+		// Exponential probe from lo.
+		step := 1
+		hi := lo
+		for hi < len(b) && b[hi] < v {
+			lo = hi + 1
+			hi += step
+			step <<= 1
+		}
+		if hi > len(b) {
+			hi = len(b)
+		}
+		// Binary search in (lo-1, hi].
+		idx := lowerBound(b[lo:hi], v) + lo
+		if idx < len(b) && b[idx] == v {
+			dst = append(dst, v)
+			lo = idx + 1
+		} else {
+			lo = idx
+		}
+		if lo >= len(b) {
+			break
+		}
+	}
+	return dst
+}
+
+// lowerBound returns the first index i in s with s[i] >= v, or len(s).
+func lowerBound(s Set, v uint32) int {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// IntersectCount returns |a ∩ b| without materializing the result. This is
+// the kernel behind the "mathematical" last-loop counting optimization.
+func IntersectCount(a, b Set) int64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	if len(b) >= len(a)*gallopThreshold {
+		var n int64
+		lo := 0
+		for _, v := range a {
+			step := 1
+			hi := lo
+			for hi < len(b) && b[hi] < v {
+				lo = hi + 1
+				hi += step
+				step <<= 1
+			}
+			if hi > len(b) {
+				hi = len(b)
+			}
+			idx := lowerBound(b[lo:hi], v) + lo
+			if idx < len(b) && b[idx] == v {
+				n++
+				lo = idx + 1
+			} else {
+				lo = idx
+			}
+			if lo >= len(b) {
+				break
+			}
+		}
+		return n
+	}
+	var n int64
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		va, vb := a[i], b[j]
+		switch {
+		case va < vb:
+			i++
+		case va > vb:
+			j++
+		default:
+			n++
+			i++
+			j++
+		}
+	}
+	return n
+}
+
+// Subtract writes a \ b into dst[:0] and returns it. dst may be a[:0]
+// (in-place subtraction is safe).
+func Subtract(dst, a, b Set) Set {
+	dst = dst[:0]
+	j := 0
+	for _, v := range a {
+		for j < len(b) && b[j] < v {
+			j++
+		}
+		if j < len(b) && b[j] == v {
+			continue
+		}
+		dst = append(dst, v)
+	}
+	return dst
+}
+
+// SubtractCount returns |a \ b|.
+func SubtractCount(a, b Set) int64 {
+	var n int64
+	j := 0
+	for _, v := range a {
+		for j < len(b) && b[j] < v {
+			j++
+		}
+		if j < len(b) && b[j] == v {
+			continue
+		}
+		n++
+	}
+	return n
+}
+
+// Remove writes a \ {v} into dst[:0] and returns it. dst may be a[:0].
+func Remove(dst, a Set, v uint32) Set {
+	dst = dst[:0]
+	for _, x := range a {
+		if x != v {
+			dst = append(dst, x)
+		}
+	}
+	return dst
+}
+
+// Contains reports whether v is a member of s, by binary search.
+func Contains(s Set, v uint32) bool {
+	i := lowerBound(s, v)
+	return i < len(s) && s[i] == v
+}
+
+// TrimBelow writes the elements of a strictly greater than bound into dst[:0].
+// It implements the lower-bound "trimming" set operation from the paper's AST
+// vocabulary, used by symmetry-breaking restrictions of the form v > bound.
+func TrimBelow(dst, a Set, bound uint32) Set {
+	dst = dst[:0]
+	i := lowerBound(a, bound)
+	if i < len(a) && a[i] == bound {
+		i++
+	}
+	return append(dst, a[i:]...)
+}
+
+// TrimAbove writes the elements of a strictly smaller than bound into dst[:0].
+// It implements the upper-bound trimming used by restrictions v < bound.
+func TrimAbove(dst, a Set, bound uint32) Set {
+	dst = dst[:0]
+	i := lowerBound(a, bound)
+	return append(dst, a[:i]...)
+}
+
+// CountBelow returns |{x ∈ a : x < bound}|.
+func CountBelow(a Set, bound uint32) int64 {
+	return int64(lowerBound(a, bound))
+}
+
+// CountAbove returns |{x ∈ a : x > bound}|.
+func CountAbove(a Set, bound uint32) int64 {
+	i := lowerBound(a, bound)
+	if i < len(a) && a[i] == bound {
+		i++
+	}
+	return int64(len(a) - i)
+}
+
+// Copy replicates src into dst[:0] and returns it.
+func Copy(dst, src Set) Set {
+	dst = dst[:0]
+	return append(dst, src...)
+}
+
+// Union writes a ∪ b into dst[:0] and returns it. dst must not alias a or b.
+// Union is not used on the mining hot path (the AST vocabulary has no union)
+// but supports graph construction and tests.
+func Union(dst, a, b Set) Set {
+	dst = dst[:0]
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		va, vb := a[i], b[j]
+		switch {
+		case va < vb:
+			dst = append(dst, va)
+			i++
+		case va > vb:
+			dst = append(dst, vb)
+			j++
+		default:
+			dst = append(dst, va)
+			i++
+			j++
+		}
+	}
+	dst = append(dst, a[i:]...)
+	dst = append(dst, b[j:]...)
+	return dst
+}
+
+// IsSorted reports whether s is strictly increasing, i.e. a valid Set.
+func IsSorted(s Set) bool {
+	for i := 1; i < len(s); i++ {
+		if s[i-1] >= s[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports element-wise equality.
+func Equal(a, b Set) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

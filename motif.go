@@ -1,0 +1,115 @@
+package decomine
+
+import (
+	"fmt"
+
+	"decomine/internal/core"
+	"decomine/internal/engine"
+	"decomine/internal/pattern"
+)
+
+// MotifCount pairs a motif pattern with its vertex-induced embedding
+// count.
+type MotifCount struct {
+	Pattern *Pattern
+	Count   int64
+}
+
+// MotifCounts implements k-motif counting (k-MC): the vertex-induced
+// count of every connected pattern with exactly k vertices. Following
+// the paper (§2.2), the system counts edge-induced embeddings of all
+// size-k pattern classes — where decomposition applies — and recovers
+// the vertex-induced counts through the inclusion-exclusion conversion,
+// rather than enumerating each vertex-induced motif directly.
+func (s *System) MotifCounts(k int) ([]MotifCount, error) {
+	if k < 1 || k > 7 {
+		return nil, fmt.Errorf("decomine: motif counting supports k in 1..7, got %d", k)
+	}
+	pats := pattern.ConnectedPatterns(k)
+	ei := make(map[pattern.Code]int64, len(pats))
+	for _, p := range pats {
+		plan, err := s.plan(p, core.ModeCount, false)
+		if err != nil {
+			return nil, err
+		}
+		c, err := s.run(plan, nil)
+		if err != nil {
+			return nil, err
+		}
+		ei[p.Canonical()] = c
+	}
+	out := make([]MotifCount, 0, len(pats))
+	for _, p := range pats {
+		vi := pattern.VertexInducedFromEdgeInduced(p, ei)
+		out = append(out, MotifCount{Pattern: &Pattern{p.Clone()}, Count: vi})
+	}
+	return out, nil
+}
+
+// TotalMotifCount sums the vertex-induced counts of all k-motifs (a
+// convenient single number for benchmarking).
+func (s *System) TotalMotifCount(k int) (int64, error) {
+	counts, err := s.MotifCounts(k)
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	for _, mc := range counts {
+		total += mc.Count
+	}
+	return total, nil
+}
+
+// CycleCount counts edge-induced embeddings of the k-cycle (the paper's
+// k-cycle mining workload, Table 7).
+func (s *System) CycleCount(k int) (int64, error) {
+	p, err := PatternByName(fmt.Sprintf("cycle-%d", k))
+	if err != nil {
+		return 0, err
+	}
+	return s.GetPatternCount(p)
+}
+
+// PseudoCliqueCount counts vertex-induced pseudo-cliques with n vertices
+// and at most `missing` absent edges (paper §8.1; the experiments use
+// missing = 1).
+func (s *System) PseudoCliqueCount(n, missing int) (int64, error) {
+	var total int64
+	for _, p := range pattern.PseudoCliques(n, missing) {
+		vi, err := s.GetPatternCountVertexInduced(&Pattern{p})
+		if err != nil {
+			return 0, err
+		}
+		total += vi
+	}
+	return total, nil
+}
+
+// CountAll counts several patterns in one merged execution with
+// cross-pattern computation reuse (paper §2.2 Optimization 2, Figure 5):
+// identical candidate-set computations are shared and loops over the
+// same sets are fused, so common matching-process prefixes run once.
+// Results are returned in input order.
+func (s *System) CountAll(patterns []*Pattern) ([]int64, error) {
+	plans := make([]*core.Plan, len(patterns))
+	for i, p := range patterns {
+		plan, err := s.plan(p.p, core.ModeCount, false)
+		if err != nil {
+			return nil, err
+		}
+		plans[i] = plan
+	}
+	merged, err := core.MergePlans(plans)
+	if err != nil {
+		return nil, err
+	}
+	res, err := engine.Run(s.graph.g, merged.Prog, engine.Options{Threads: s.opts.Threads})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int64, len(patterns))
+	for i := range patterns {
+		out[i] = res.Globals[merged.CountGlobals[i]] / merged.Divisors[i]
+	}
+	return out, nil
+}

@@ -1,0 +1,114 @@
+package decomine
+
+import (
+	"decomine/internal/core"
+	"decomine/internal/pattern"
+)
+
+// Pattern is a small pattern graph to be mined, optionally with
+// per-vertex label constraints.
+type Pattern struct {
+	p *pattern.Pattern
+}
+
+// ParsePattern builds a pattern from an edge-list string such as
+// "0-1,1-2,2-0" (a triangle).
+func ParsePattern(s string) (*Pattern, error) {
+	p, err := pattern.Parse(s)
+	if err != nil {
+		return nil, err
+	}
+	return &Pattern{p}, nil
+}
+
+// MustParsePattern is ParsePattern for statically known strings.
+func MustParsePattern(s string) *Pattern {
+	p, err := ParsePattern(s)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// PatternByName returns a named benchmark pattern: "clique-k",
+// "cycle-k", "chain-k", "star-k", "tailed-triangle", "house", "fig6",
+// and the paper's evaluation patterns "p1".."p5".
+func PatternByName(name string) (*Pattern, error) {
+	p, err := pattern.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return &Pattern{p}, nil
+}
+
+// MotifPatterns returns all connected patterns with exactly k vertices
+// (one per isomorphism class): 2 for k=3, 6 for k=4, 21 for k=5, 112
+// for k=6.
+func MotifPatterns(k int) []*Pattern {
+	ps := pattern.ConnectedPatterns(k)
+	out := make([]*Pattern, len(ps))
+	for i, p := range ps {
+		out[i] = &Pattern{p.Clone()}
+	}
+	return out
+}
+
+// NumVertices returns the number of pattern vertices.
+func (p *Pattern) NumVertices() int { return p.p.NumVertices() }
+
+// NumEdges returns the number of pattern edges.
+func (p *Pattern) NumEdges() int { return p.p.NumEdges() }
+
+// HasEdge reports whether pattern vertices u and v are adjacent.
+func (p *Pattern) HasEdge(u, v int) bool { return p.p.HasEdge(u, v) }
+
+// SetVertexLabel constrains pattern vertex v to match only input
+// vertices carrying the given label.
+func (p *Pattern) SetVertexLabel(v int, label uint32) { p.p.SetLabel(v, label) }
+
+// String renders the pattern as a parseable edge list.
+func (p *Pattern) String() string { return p.p.String() }
+
+// Clone returns an independent copy.
+func (p *Pattern) Clone() *Pattern { return &Pattern{p.p.Clone()} }
+
+// IsomorphicTo reports whether two patterns are isomorphic (labels
+// respected).
+func (p *Pattern) IsomorphicTo(q *Pattern) bool { return pattern.Isomorphic(p.p, q.p) }
+
+// ConstraintKind discriminates group label constraints.
+type ConstraintKind int
+
+const (
+	// AllSameLabel requires the listed pattern vertices to map to input
+	// vertices with equal labels.
+	AllSameLabel ConstraintKind = iota
+	// AllDifferentLabels requires pairwise distinct labels.
+	AllDifferentLabels
+)
+
+// LabelConstraint is a group label constraint over pattern vertices
+// (paper §7.5), e.g. "vertices matching A, B, C must have different
+// labels".
+type LabelConstraint struct {
+	Kind     ConstraintKind
+	Vertices []int
+}
+
+func toCoreConstraints(cons []LabelConstraint) []core.LabelConstraint {
+	out := make([]core.LabelConstraint, len(cons))
+	for i, c := range cons {
+		kind := core.AllSame
+		if c.Kind == AllDifferentLabels {
+			kind = core.AllDifferent
+		}
+		out[i] = core.LabelConstraint{Kind: kind, Verts: append([]int(nil), c.Vertices...)}
+	}
+	return out
+}
+
+// coreConstraintAut exposes the constraint-preserving automorphism count
+// used as the multiplicity divisor for constrained queries.
+func coreConstraintAut(p *Pattern, cons []LabelConstraint) int64 {
+	return core.ConstraintAutomorphismCount(p.p, toCoreConstraints(cons))
+}
