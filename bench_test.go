@@ -388,6 +388,49 @@ func mustPattern(name string) *Pattern {
 	return p
 }
 
+// --- bytecode VM vs tree-walking interpreter ---
+
+func benchInterp5Motif(b *testing.B, interp Interpreter) {
+	b.Helper()
+	s := benchSystem(b, "ee", Options{CostModel: CostLocality, Interpreter: interp})
+	warm(b, func() error { _, err := s.TotalMotifCount(5); return err })
+	for i := 0; i < b.N; i++ {
+		if _, err := s.TotalMotifCount(5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVM_5Motif_ee(b *testing.B)       { benchInterp5Motif(b, InterpreterVM) }
+func BenchmarkTreeWalk_5Motif_ee(b *testing.B) { benchInterp5Motif(b, InterpreterTree) }
+
+func benchEngineInterpTriangle(b *testing.B, interp engine.Interp) {
+	b.Helper()
+	g := graph.MustDataset("wk")
+	st := cost.StatsOf(g)
+	best, _, err := core.Search(pattern.Clique(3), core.SearchOptions{
+		Model: cost.NewLocality(st, 0.25), Mode: core.ModeCount,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	code := best.Plan.Lowered()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.Run(g, best.Plan.Prog, engine.Options{Interpreter: interp, Code: code}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEngineVM_Triangle_wk(b *testing.B) {
+	benchEngineInterpTriangle(b, engine.InterpVM)
+}
+
+func BenchmarkEngineTreeWalk_Triangle_wk(b *testing.B) {
+	benchEngineInterpTriangle(b, engine.InterpTree)
+}
+
 // --- engine micro-benchmarks ---
 
 func BenchmarkEngine_TriangleCount_wk(b *testing.B) {

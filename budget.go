@@ -25,12 +25,15 @@ func (s *System) runBudget(plan *core.Plan, budget time.Duration) (int64, bool, 
 		defer timer.Stop()
 	}
 	res, err := engine.Run(s.graph.g, plan.Prog, engine.Options{
-		Threads: s.opts.Threads,
-		Cancel:  cancel,
+		Threads:     s.opts.Threads,
+		Cancel:      cancel,
+		Interpreter: s.engineInterp(),
+		Code:        s.planCode(plan),
 	})
 	if err != nil {
 		return 0, false, err
 	}
+	s.noteExecStats(res)
 	return res.Globals[plan.CountGlobal] / plan.Divisor, res.Canceled, nil
 }
 
@@ -180,10 +183,15 @@ func (s *System) WorkDistribution(p *Pattern) ([]int64, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := engine.Run(s.graph.g, plan.Prog, engine.Options{Threads: s.opts.Threads})
+	res, err := engine.Run(s.graph.g, plan.Prog, engine.Options{
+		Threads:     s.opts.Threads,
+		Interpreter: s.engineInterp(),
+		Code:        s.planCode(plan),
+	})
 	if err != nil {
 		return nil, err
 	}
+	s.noteExecStats(res)
 	return res.WorkPerThread, nil
 }
 

@@ -5,11 +5,25 @@ import (
 	"sync"
 	"time"
 
+	"decomine/internal/ast"
 	"decomine/internal/core"
 	"decomine/internal/cost"
 	"decomine/internal/engine"
 	"decomine/internal/pattern"
 	"decomine/internal/sampling"
+)
+
+// Interpreter selects the in-process execution engine.
+type Interpreter string
+
+const (
+	// InterpreterVM executes plans on the flat bytecode VM (the
+	// default): the optimized AST is lowered once per plan and executed
+	// by a non-recursive dispatch loop with arena-backed set buffers.
+	InterpreterVM Interpreter = "vm"
+	// InterpreterTree executes plans on the recursive tree-walking
+	// interpreter, kept as an escape hatch and for differential testing.
+	InterpreterTree Interpreter = "tree"
 )
 
 // CostModelKind selects the cost model used by the algorithm search
@@ -54,6 +68,9 @@ type Options struct {
 	ProfileTrials      int
 	// Seed fixes all randomized choices.
 	Seed int64
+	// Interpreter selects the execution engine (InterpreterVM when
+	// empty).
+	Interpreter Interpreter
 }
 
 // System binds a graph to compilation options and caches compiled plans
@@ -74,6 +91,8 @@ type System struct {
 	// LastCompileTime records the duration of the most recent plan
 	// search+generation (Figure 18).
 	LastCompileTime time.Duration
+
+	lastOpCounts []int64
 }
 
 type planKey struct {
@@ -83,9 +102,14 @@ type planKey struct {
 	flavor  string
 }
 
+// planEntry caches the outcome of one algorithm search — including
+// failures, so patterns with no valid plan don't re-run the full
+// candidate search on every repeated call (negative caching).
 type planEntry struct {
-	plan *core.Plan
-	cost float64
+	plan  *core.Plan
+	cost  float64
+	cands int
+	err   error
 }
 
 // NewSystem creates a mining system over g.
@@ -143,35 +167,104 @@ func (s *System) searchOptions(mode core.Mode, induced bool) core.SearchOptions 
 	}
 }
 
-// plan returns a compiled plan for p, caching by canonical pattern code.
-func (s *System) plan(p *pattern.Pattern, mode core.Mode, induced bool) (*core.Plan, error) {
+// planFull returns the cached search outcome for p, running the
+// algorithm search at most once per (pattern, mode, induced) key —
+// whether it succeeded or failed.
+func (s *System) planFull(p *pattern.Pattern, mode core.Mode, induced bool) (*planEntry, error) {
 	key := planKey{code: p.Canonical(), mode: mode, induced: induced, flavor: "std"}
 	s.mu.Lock()
 	if e, ok := s.planCache[key]; ok {
 		s.mu.Unlock()
-		return e.plan, nil
+		return e, e.err
 	}
 	s.mu.Unlock()
 	start := time.Now()
-	best, _, err := core.Search(p, s.searchOptions(mode, induced))
+	best, cands, err := core.Search(p, s.searchOptions(mode, induced))
+	elapsed := time.Since(start)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.LastCompileTime = elapsed
+	if e, ok := s.planCache[key]; ok {
+		// A concurrent search for the same key finished first; keep its
+		// entry so every caller sees one canonical plan.
+		return e, e.err
+	}
+	e := &planEntry{err: err}
+	if err == nil {
+		e.plan, e.cost, e.cands = best.Plan, best.Cost, len(cands)
+	}
+	s.planCache[key] = e
+	return e, err
+}
+
+// plan returns a compiled plan for p, caching by canonical pattern code.
+func (s *System) plan(p *pattern.Pattern, mode core.Mode, induced bool) (*core.Plan, error) {
+	e, err := s.planFull(p, mode, induced)
 	if err != nil {
 		return nil, err
 	}
+	return e.plan, nil
+}
+
+// engineInterp maps the public Interpreter option to the engine's enum.
+func (s *System) engineInterp() engine.Interp {
+	if s.opts.Interpreter == InterpreterTree {
+		return engine.InterpTree
+	}
+	return engine.InterpVM
+}
+
+// planCode returns the plan's cached bytecode when the VM is selected,
+// nil otherwise.
+func (s *System) planCode(plan *core.Plan) *ast.Lowered {
+	if s.opts.Interpreter == InterpreterTree {
+		return nil
+	}
+	return plan.Lowered()
+}
+
+func (s *System) noteExecStats(res *engine.Result) {
 	s.mu.Lock()
-	s.LastCompileTime = time.Since(start)
-	s.planCache[key] = &planEntry{plan: best.Plan, cost: best.Cost}
+	s.lastOpCounts = res.OpCounts
 	s.mu.Unlock()
-	return best.Plan, nil
+}
+
+// ExecStats reports bytecode execution counters from an engine run.
+type ExecStats struct {
+	// Instructions is the total number of bytecode instructions executed.
+	Instructions int64
+	// PerOp maps opcode mnemonics (e.g. "set", "loop.next") to execution
+	// counts; zero-count opcodes are omitted.
+	PerOp map[string]int64
+}
+
+// LastExecStats returns the per-opcode execution counters of the most
+// recent engine run this System started. Under InterpreterTree the
+// counters are empty (the tree-walker does not track them).
+func (s *System) LastExecStats() ExecStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := ExecStats{PerOp: map[string]int64{}}
+	for op, c := range s.lastOpCounts {
+		if c != 0 {
+			st.PerOp[ast.OpCode(op).String()] = c
+			st.Instructions += c
+		}
+	}
+	return st
 }
 
 func (s *System) run(plan *core.Plan, newConsumer func(worker int) engine.Consumer) (int64, error) {
 	res, err := engine.Run(s.graph.g, plan.Prog, engine.Options{
 		Threads:     s.opts.Threads,
 		NewConsumer: newConsumer,
+		Interpreter: s.engineInterp(),
+		Code:        s.planCode(plan),
 	})
 	if err != nil {
 		return 0, err
 	}
+	s.noteExecStats(res)
 	return res.Globals[plan.CountGlobal] / plan.Divisor, nil
 }
 
@@ -241,15 +334,18 @@ func (s *System) CountWithConstraints(p *Pattern, cons []LabelConstraint) (int64
 
 // Explain returns a human-readable description of the algorithm the
 // compiler selected for p: the decomposition choice, matching orders,
-// estimated cost and the optimized pseudo-code.
+// estimated cost, the optimized pseudo-code and the lowered bytecode.
+// It shares the plan cache with the counting APIs, so explaining a
+// pattern that was already mined (or mining one that was explained)
+// performs no additional search.
 func (s *System) Explain(p *Pattern) (string, error) {
-	best, cands, err := core.Search(p.p, s.searchOptions(core.ModeCount, false))
+	e, err := s.planFull(p.p, core.ModeCount, false)
 	if err != nil {
 		return "", err
 	}
-	return fmt.Sprintf("pattern: %s\nchosen: %s\nestimated cost: %.3g (best of %d candidates, model %s)\n\n%s",
-		p, best.Plan.Desc, best.Cost, len(cands), s.Model().Name(),
-		core.PlanPseudocode(best.Plan)), nil
+	return fmt.Sprintf("pattern: %s\nchosen: %s\nestimated cost: %.3g (best of %d candidates, model %s)\n\n%s\nbytecode:\n%s",
+		p, e.plan.Desc, e.cost, e.cands, s.Model().Name(),
+		core.PlanPseudocode(e.plan), core.PlanDisassembly(e.plan)), nil
 }
 
 // GoSource emits the selected plan for p as a standalone Go source file

@@ -1,0 +1,451 @@
+package ast
+
+// This file implements bytecode lowering: it compiles an optimized
+// Program tree into a flat, contiguous instruction stream executed by
+// the engine's non-recursive VM dispatch loop. Structured control flow
+// (loops, conditionals) is resolved into absolute instruction offsets at
+// lower time, so the hot path pays no pointer-chasing over Node.Body
+// slices and no recursive call per node — the in-process analogue of the
+// paper's generated-code backend (§7.4), with internal/core/codegen.go
+// remaining the reference source emitter.
+
+import (
+	"fmt"
+	"strings"
+)
+
+// OpCode discriminates bytecode instructions.
+type OpCode uint8
+
+const (
+	// ILoopBegin enters a loop: captures the iteration set, binds the
+	// loop variable to its first element, or jumps past the loop when
+	// the set is empty.
+	ILoopBegin OpCode = iota
+	// ILoopNext is the loop back-edge: binds the next element and jumps
+	// to the body start, or falls through when the set is exhausted.
+	ILoopNext
+	// ISetDef evaluates a SetOp into a set register.
+	ISetDef
+	// IScalarDef evaluates a ScalarOp into a scalar register.
+	IScalarDef
+	// IScalarReset sets a volatile scalar to an immediate.
+	IScalarReset
+	// IScalarAccum adds Imm*scalar[SA] into a volatile scalar.
+	IScalarAccum
+	// IGlobalAdd adds Imm*scalar[SA] into a global accumulator.
+	IGlobalAdd
+	// IHashClear clears a hash table (O(1) epoch bump).
+	IHashClear
+	// IHashInc adds Imm to a keyed table entry.
+	IHashInc
+	// IHashGet loads a keyed table entry into a scalar (0 if absent).
+	IHashGet
+	// ICondSkip jumps to Off when scalar[SA] <= 0.
+	ICondSkip
+	// IEmit delivers a partial embedding to the consumer.
+	IEmit
+	// ICount is a fused counting instruction produced by the peephole
+	// pass: it counts the elements of a set expression without
+	// materializing intermediate sets. See Instr for field use.
+	ICount
+	// NumOpcodes is the number of distinct opcodes (sizes counter arrays).
+	NumOpcodes
+)
+
+var opNames = [NumOpcodes]string{
+	"loop.begin", "loop.next", "set", "scalar", "reset", "accum",
+	"global.add", "hash.clear", "hash.inc", "hash.get", "cond.skip", "emit",
+	"count",
+}
+
+// String returns the disassembler mnemonic of the opcode.
+func (op OpCode) String() string {
+	if int(op) < len(opNames) {
+		return opNames[op]
+	}
+	return fmt.Sprintf("op%d", int(op))
+}
+
+// Instr is one flat bytecode instruction. Field use depends on Op:
+//
+//	ILoopBegin   Dst=loop var, A=set register, Off=index past the loop,
+//	             LoopID=dense loop index
+//	ILoopNext    Dst=loop var, A=set register, Off=ILoopBegin index,
+//	             LoopID matching the begin
+//	ISetDef      Set sub-op with Dst/A/B/V/Imm as in Node
+//	IScalarDef   SOp sub-op with Dst/A/SA/SB/V/Imm as in Node
+//	IScalarReset Dst, Imm
+//	IScalarAccum Dst, SA, Imm
+//	IGlobalAdd   Dst, SA, Imm
+//	IHashClear   A=table
+//	IHashInc     A=table, Key/NKeys, Imm
+//	IHashGet     Dst, A=table, Key/NKeys
+//	ICondSkip    SA, Off=skip target
+//	IEmit        Dst=subpattern index, SA=count scalar, Key/NKeys
+//	ICount       Dst=scalar, A=base set, B=second set (∩) or -1,
+//	             V=strict lower-bound var or -1, SA=strict upper-bound
+//	             var or -1, Key/NKeys=excluded vars
+type Instr struct {
+	Op  OpCode
+	Set SetOp
+	SOp ScalarOp
+
+	Dst int32
+	A   int32
+	B   int32
+	V   int32
+	SA  int32
+	SB  int32
+
+	// Off is the absolute control-flow target (see per-op docs above).
+	Off int32
+	// Key/NKeys locate this instruction's key variables in Lowered.Keys.
+	Key   int32
+	NKeys int32
+	// LoopID is the dense loop index used for per-frame iteration state.
+	LoopID int32
+
+	Imm int64
+}
+
+// Segment is one root-level statement of the lowered program. The
+// parallel driver iterates segments in order; loop segments are the
+// parallelizable units (the driver binds the loop variable per chunk and
+// executes the body range [Start+1, End-1) directly, bypassing the
+// segment's own ILoopBegin/ILoopNext pair).
+type Segment struct {
+	Start, End int32 // [Start, End) instruction range
+	Loop       bool
+	Var, Over  int32 // loop variable / set register when Loop
+}
+
+// Lowered is a compiled flat program: the instruction stream, the pooled
+// key indices, and the root-level segmentation. The Program is retained
+// for its register-file header (frame sizing) and for pseudocode
+// rendering; the instruction stream is what executes.
+type Lowered struct {
+	Prog     *Program
+	Code     []Instr
+	Keys     []int32
+	Segments []Segment
+	// NumLoops is the number of ILoopBegin instructions; per-frame loop
+	// iteration state is sized by it.
+	NumLoops int
+}
+
+// Lower flattens a validated program into bytecode. Loop and conditional
+// offsets are resolved to absolute instruction indices; hash and emit
+// keys are pooled into one shared slice. The program must not be mutated
+// afterwards (the lowered form does not track tree edits).
+func Lower(p *Program) *Lowered {
+	l := &Lowered{Prog: p}
+	var emit func(n *Node)
+	emit = func(n *Node) {
+		switch n.Kind {
+		case KRoot:
+			for _, c := range n.Body {
+				emit(c)
+			}
+		case KLoop:
+			b := int32(len(l.Code))
+			id := int32(l.NumLoops)
+			l.NumLoops++
+			l.Code = append(l.Code, Instr{Op: ILoopBegin, Dst: int32(n.Var), A: int32(n.Over), LoopID: id})
+			for _, c := range n.Body {
+				emit(c)
+			}
+			e := int32(len(l.Code))
+			l.Code = append(l.Code, Instr{Op: ILoopNext, Dst: int32(n.Var), A: int32(n.Over), Off: b, LoopID: id})
+			l.Code[b].Off = e + 1
+		case KCondPos:
+			i := len(l.Code)
+			l.Code = append(l.Code, Instr{Op: ICondSkip, SA: int32(n.SA)})
+			for _, c := range n.Body {
+				emit(c)
+			}
+			l.Code[i].Off = int32(len(l.Code))
+		case KSetDef:
+			l.Code = append(l.Code, Instr{
+				Op: ISetDef, Set: n.Op,
+				Dst: int32(n.Dst), A: int32(n.A), B: int32(n.B), V: int32(n.V), Imm: n.Imm,
+			})
+		case KScalarDef:
+			l.Code = append(l.Code, Instr{
+				Op: IScalarDef, SOp: n.SOp,
+				Dst: int32(n.Dst), A: int32(n.A), SA: int32(n.SA), SB: int32(n.SB), V: int32(n.V), Imm: n.Imm,
+			})
+		case KScalarReset:
+			l.Code = append(l.Code, Instr{Op: IScalarReset, Dst: int32(n.Dst), Imm: n.Imm})
+		case KScalarAccum:
+			l.Code = append(l.Code, Instr{Op: IScalarAccum, Dst: int32(n.Dst), SA: int32(n.SA), Imm: n.Imm})
+		case KGlobalAdd:
+			l.Code = append(l.Code, Instr{Op: IGlobalAdd, Dst: int32(n.Dst), SA: int32(n.SA), Imm: n.Imm})
+		case KHashClear:
+			l.Code = append(l.Code, Instr{Op: IHashClear, A: int32(n.Table)})
+		case KHashInc:
+			key, nk := l.poolKeys(n.Keys)
+			l.Code = append(l.Code, Instr{Op: IHashInc, A: int32(n.Table), Key: key, NKeys: nk, Imm: n.Imm})
+		case KHashGet:
+			key, nk := l.poolKeys(n.Keys)
+			l.Code = append(l.Code, Instr{Op: IHashGet, Dst: int32(n.Dst), A: int32(n.Table), Key: key, NKeys: nk})
+		case KEmit:
+			key, nk := l.poolKeys(n.Keys)
+			l.Code = append(l.Code, Instr{Op: IEmit, Dst: int32(n.Sub), SA: int32(n.SA), Key: key, NKeys: nk})
+		default:
+			panic(fmt.Sprintf("ast: cannot lower node kind %d", n.Kind))
+		}
+	}
+	for _, n := range p.Root.Body {
+		start := int32(len(l.Code))
+		emit(n)
+		seg := Segment{Start: start, End: int32(len(l.Code))}
+		if n.Kind == KLoop {
+			seg.Loop = true
+			seg.Var, seg.Over = int32(n.Var), int32(n.Over)
+		}
+		l.Segments = append(l.Segments, seg)
+	}
+	l.fuseCounts()
+	return l
+}
+
+// setReads appends the set registers read by instruction ins to dst.
+func setReads(ins *Instr, dst []int32) []int32 {
+	switch ins.Op {
+	case ILoopBegin, ILoopNext:
+		return append(dst, ins.A)
+	case ISetDef:
+		switch ins.Set {
+		case OpAll:
+			return dst
+		case OpIntersect, OpSubtract:
+			return append(dst, ins.A, ins.B)
+		case OpNeighbors:
+			return dst
+		default: // remove, trims, copy, label filters: unary on A
+			return append(dst, ins.A)
+		}
+	case IScalarDef:
+		switch ins.SOp {
+		case SSize, SCountAbove, SCountBelow:
+			return append(dst, ins.A)
+		}
+	case ICount:
+		dst = append(dst, ins.A)
+		if ins.B >= 0 {
+			dst = append(dst, ins.B)
+		}
+	}
+	return dst
+}
+
+// fuseCounts is the peephole pass: a size/count scalar whose source set
+// is defined by the immediately preceding instruction — and used nowhere
+// else — absorbs that definition into a fused ICount, walking the chain
+// upward. Intersections, trims and removals feeding only a count are
+// thereby evaluated by counting kernels without materializing any
+// intermediate set. The tree-walking interpreter cannot express this:
+// it is a property of the flat instruction encoding.
+func (l *Lowered) fuseCounts() {
+	uses := make(map[int32]int)
+	var scratch []int32
+	for i := range l.Code {
+		scratch = setReads(&l.Code[i], scratch[:0])
+		for _, s := range scratch {
+			uses[s]++
+		}
+	}
+	// segOf[i] = index of the segment containing instruction i; fusion
+	// never reaches across a segment boundary.
+	segOf := make([]int, len(l.Code))
+	for si, seg := range l.Segments {
+		for i := seg.Start; i < seg.End; i++ {
+			segOf[i] = si
+		}
+	}
+
+	keep := make([]bool, len(l.Code))
+	for i := range keep {
+		keep[i] = true
+	}
+	for i := range l.Code {
+		ins := &l.Code[i]
+		if ins.Op != IScalarDef {
+			continue
+		}
+		// Seed descriptor from the counting scalar op.
+		c := Instr{Op: ICount, Dst: ins.Dst, A: ins.A, B: -1, V: -1, SA: -1}
+		switch ins.SOp {
+		case SSize:
+		case SCountAbove:
+			c.V = ins.V
+		case SCountBelow:
+			c.SA = ins.V
+		default:
+			continue
+		}
+		var excl []int32
+		absorbed := 0
+		// Walk the def chain upward while each base is defined by the
+		// immediately preceding surviving instruction and used only here.
+		d := i - 1
+		for d >= 0 && keep[d] && segOf[d] == segOf[i] {
+			def := &l.Code[d]
+			if def.Op != ISetDef || def.Dst != c.A || uses[def.Dst] != 1 {
+				break
+			}
+			switch def.Set {
+			case OpRemove:
+				excl = append(excl, def.V)
+			case OpTrimBelow: // elements > bound
+				if c.V >= 0 {
+					goto done
+				}
+				c.V = def.V
+			case OpTrimAbove: // elements < bound
+				if c.SA >= 0 {
+					goto done
+				}
+				c.SA = def.V
+			case OpIntersect:
+				if c.B >= 0 {
+					goto done
+				}
+				// Intersection ends the chain: both operands now feed
+				// the counting kernel directly.
+				c.A, c.B = def.A, def.B
+				keep[d] = false
+				absorbed++
+				goto done
+			default:
+				goto done
+			}
+			c.A = def.A
+			keep[d] = false
+			absorbed++
+			d--
+		}
+	done:
+		if absorbed == 0 {
+			continue
+		}
+		if len(excl) > 0 {
+			c.Key, c.NKeys = poolKeys32(l, excl)
+		}
+		l.Code[i] = c
+	}
+	l.compact(keep)
+}
+
+func poolKeys32(l *Lowered, keys []int32) (off, n int32) {
+	off = int32(len(l.Keys))
+	l.Keys = append(l.Keys, keys...)
+	return off, int32(len(keys))
+}
+
+// compact removes instructions marked dead and re-resolves every
+// absolute offset (loop begin/next, cond skips, segment ranges). A
+// target pointing at a deleted instruction maps to its surviving
+// successor.
+func (l *Lowered) compact(keep []bool) {
+	remap := make([]int32, len(l.Code)+1)
+	out := l.Code[:0]
+	for i := range l.Code {
+		remap[i] = int32(len(out))
+		if keep[i] {
+			out = append(out, l.Code[i])
+		}
+	}
+	remap[len(l.Code)] = int32(len(out))
+	l.Code = out
+	for i := range l.Code {
+		ins := &l.Code[i]
+		switch ins.Op {
+		case ILoopBegin, ILoopNext, ICondSkip:
+			ins.Off = remap[ins.Off]
+		}
+	}
+	for i := range l.Segments {
+		l.Segments[i].Start = remap[l.Segments[i].Start]
+		l.Segments[i].End = remap[l.Segments[i].End]
+	}
+}
+
+func (l *Lowered) poolKeys(keys []int) (off, n int32) {
+	off = int32(len(l.Keys))
+	for _, k := range keys {
+		l.Keys = append(l.Keys, int32(k))
+	}
+	return off, int32(len(keys))
+}
+
+// KeyVars returns the key variable indices of instruction ins.
+func (l *Lowered) KeyVars(ins *Instr) []int32 {
+	return l.Keys[ins.Key : ins.Key+ins.NKeys]
+}
+
+// Disassemble renders the instruction stream one instruction per line,
+// used by Explain and the golden tests.
+func (l *Lowered) Disassemble() string {
+	var sb strings.Builder
+	for i := range l.Code {
+		ins := &l.Code[i]
+		fmt.Fprintf(&sb, "%03d  %-10s %s\n", i, ins.Op.String(), l.operandString(ins))
+	}
+	return sb.String()
+}
+
+func (l *Lowered) operandString(ins *Instr) string {
+	keyList := func() string {
+		parts := make([]string, ins.NKeys)
+		for i, v := range l.KeyVars(ins) {
+			parts[i] = fmt.Sprintf("v%d", v)
+		}
+		return strings.Join(parts, ",")
+	}
+	switch ins.Op {
+	case ILoopBegin:
+		return fmt.Sprintf("v%d in s%d  else->%03d  ; loop %d", ins.Dst, ins.A, ins.Off, ins.LoopID)
+	case ILoopNext:
+		return fmt.Sprintf("v%d  back->%03d  ; loop %d", ins.Dst, ins.Off+1, ins.LoopID)
+	case ISetDef:
+		n := Node{Op: ins.Set, A: int(ins.A), B: int(ins.B), V: int(ins.V), Imm: ins.Imm}
+		return fmt.Sprintf("s%d = %s", ins.Dst, setOpString(&n))
+	case IScalarDef:
+		n := Node{SOp: ins.SOp, A: int(ins.A), SA: int(ins.SA), SB: int(ins.SB), V: int(ins.V), Imm: ins.Imm}
+		return fmt.Sprintf("x%d = %s", ins.Dst, scalarOpString(&n))
+	case IScalarReset:
+		return fmt.Sprintf("x%d := %d", ins.Dst, ins.Imm)
+	case IScalarAccum:
+		return fmt.Sprintf("x%d += %d*x%d", ins.Dst, ins.Imm, ins.SA)
+	case IGlobalAdd:
+		return fmt.Sprintf("g%d += %d*x%d", ins.Dst, ins.Imm, ins.SA)
+	case IHashClear:
+		return fmt.Sprintf("h%d", ins.A)
+	case IHashInc:
+		return fmt.Sprintf("h%d[%s] += %d", ins.A, keyList(), ins.Imm)
+	case IHashGet:
+		return fmt.Sprintf("x%d = h%d[%s]", ins.Dst, ins.A, keyList())
+	case ICondSkip:
+		return fmt.Sprintf("if x%d <= 0 ->%03d", ins.SA, ins.Off)
+	case IEmit:
+		return fmt.Sprintf("sub=%d [%s] count=x%d", ins.Dst, keyList(), ins.SA)
+	case ICount:
+		expr := fmt.Sprintf("s%d", ins.A)
+		if ins.B >= 0 {
+			expr += fmt.Sprintf(" ∩ s%d", ins.B)
+		}
+		if ins.V >= 0 {
+			expr += fmt.Sprintf(" : x > v%d", ins.V)
+		}
+		if ins.SA >= 0 {
+			expr += fmt.Sprintf(" : x < v%d", ins.SA)
+		}
+		if ins.NKeys > 0 {
+			expr += fmt.Sprintf(" − {%s}", keyList())
+		}
+		return fmt.Sprintf("x%d = |%s|", ins.Dst, expr)
+	}
+	return "?"
+}

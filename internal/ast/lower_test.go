@@ -1,0 +1,329 @@
+package ast
+
+import (
+	"strings"
+	"testing"
+)
+
+func lowerTriangle(t *testing.T) *Lowered {
+	t.Helper()
+	b := NewBuilder(0)
+	all := b.All()
+	v0 := b.BeginLoop(all, nil)
+	n0 := b.Neighbors(v0)
+	v1 := b.BeginLoop(n0, nil)
+	n1 := b.Neighbors(v1)
+	common := b.Intersect(n0, n1)
+	x := b.Size(common)
+	g := b.NewGlobal()
+	b.GlobalAdd(g, x, 1)
+	b.EndLoop()
+	b.EndLoop()
+	return Lower(b.Finish())
+}
+
+func TestLowerTriangleStructure(t *testing.T) {
+	l := lowerTriangle(t)
+	wantOps := []OpCode{
+		ISetDef,    // s0 = V
+		ILoopBegin, // v0
+		ISetDef,    // s1 = N(v0)
+		ILoopBegin, // v1
+		ISetDef,    // s2 = N(v1)
+		ICount,     // x0 = |s1 ∩ s2|  (intersect+size fused)
+		IGlobalAdd, // g0 += x0
+		ILoopNext,  // v1
+		ILoopNext,  // v0
+	}
+	if len(l.Code) != len(wantOps) {
+		t.Fatalf("code length %d, want %d\n%s", len(l.Code), len(wantOps), l.Disassemble())
+	}
+	for i, op := range wantOps {
+		if l.Code[i].Op != op {
+			t.Fatalf("instr %d: op %s, want %s\n%s", i, l.Code[i].Op, op, l.Disassemble())
+		}
+	}
+	if l.NumLoops != 2 {
+		t.Fatalf("NumLoops = %d, want 2", l.NumLoops)
+	}
+}
+
+func TestLowerOffsetsMatchLoopPairs(t *testing.T) {
+	l := lowerTriangle(t)
+	// Every ILoopNext points back at its ILoopBegin, and the begin's
+	// empty-set exit points just past the next.
+	for i := range l.Code {
+		ins := &l.Code[i]
+		if ins.Op != ILoopNext {
+			continue
+		}
+		b := ins.Off
+		begin := &l.Code[b]
+		if begin.Op != ILoopBegin {
+			t.Fatalf("loop.next %d back-edge %d is %s, not loop.begin", i, b, begin.Op)
+		}
+		if begin.LoopID != ins.LoopID || begin.Dst != ins.Dst || begin.A != ins.A {
+			t.Fatalf("loop pair %d/%d operand mismatch", b, i)
+		}
+		if begin.Off != int32(i)+1 {
+			t.Fatalf("loop.begin %d exit %d, want %d", b, begin.Off, i+1)
+		}
+	}
+}
+
+func TestLowerSegments(t *testing.T) {
+	l := lowerTriangle(t)
+	// Root body: one set def (s0 = V), one loop.
+	if len(l.Segments) != 2 {
+		t.Fatalf("segments = %d, want 2", len(l.Segments))
+	}
+	if l.Segments[0].Loop || l.Segments[0].Start != 0 || l.Segments[0].End != 1 {
+		t.Fatalf("segment 0 = %+v", l.Segments[0])
+	}
+	s1 := l.Segments[1]
+	if !s1.Loop || s1.Start != 1 || s1.End != int32(len(l.Code)) {
+		t.Fatalf("segment 1 = %+v", s1)
+	}
+	if l.Code[s1.Start].Op != ILoopBegin || l.Code[s1.End-1].Op != ILoopNext {
+		t.Fatal("loop segment not delimited by loop.begin/loop.next")
+	}
+	if s1.Var != l.Code[s1.Start].Dst || s1.Over != l.Code[s1.Start].A {
+		t.Fatalf("segment loop metadata %+v != begin instr %+v", s1, l.Code[s1.Start])
+	}
+}
+
+func TestLowerCondSkipOffset(t *testing.T) {
+	b := NewBuilder(0)
+	all := b.All()
+	gl := b.NewGlobal()
+	v0 := b.BeginLoop(all, nil)
+	n0 := b.Neighbors(v0)
+	d := b.Size(n0)
+	b.BeginCond(d)
+	one := b.Const(1)
+	b.GlobalAdd(gl, one, 1)
+	b.EndCond()
+	b.EndLoop()
+	l := Lower(b.Finish())
+
+	var cond *Instr
+	var condIdx int
+	for i := range l.Code {
+		if l.Code[i].Op == ICondSkip {
+			cond = &l.Code[i]
+			condIdx = i
+		}
+	}
+	if cond == nil {
+		t.Fatal("no cond.skip emitted")
+	}
+	// Body is const + global.add; skip target must be the loop.next that
+	// directly follows the body.
+	if cond.Off != int32(condIdx)+3 {
+		t.Fatalf("cond.skip target %d, want %d\n%s", cond.Off, condIdx+3, l.Disassemble())
+	}
+	if l.Code[cond.Off].Op != ILoopNext {
+		t.Fatalf("cond.skip lands on %s, want loop.next", l.Code[cond.Off].Op)
+	}
+}
+
+func TestLowerKeysPooled(t *testing.T) {
+	b := NewBuilder(0)
+	all := b.All()
+	tab := b.NewTable()
+	v0 := b.BeginLoop(all, nil)
+	n0 := b.Neighbors(v0)
+	v1 := b.BeginLoop(n0, nil)
+	b.HashInc(tab, []int{v0, v1}, 1)
+	x := b.HashGet(tab, []int{v1, v0})
+	b.Emit(0, []int{v0, v1}, x)
+	b.EndLoop()
+	b.EndLoop()
+	l := Lower(b.Finish())
+
+	got := map[OpCode][]int32{}
+	for i := range l.Code {
+		ins := &l.Code[i]
+		switch ins.Op {
+		case IHashInc, IHashGet, IEmit:
+			got[ins.Op] = append([]int32(nil), l.KeyVars(ins)...)
+		}
+	}
+	if len(got[IHashInc]) != 2 || got[IHashInc][0] != int32(v0) || got[IHashInc][1] != int32(v1) {
+		t.Fatalf("hash.inc keys %v", got[IHashInc])
+	}
+	if len(got[IHashGet]) != 2 || got[IHashGet][0] != int32(v1) || got[IHashGet][1] != int32(v0) {
+		t.Fatalf("hash.get keys %v", got[IHashGet])
+	}
+	if len(got[IEmit]) != 2 {
+		t.Fatalf("emit keys %v", got[IEmit])
+	}
+	// All keys live in the one shared pool.
+	if len(l.Keys) != 6 {
+		t.Fatalf("key pool size %d, want 6", len(l.Keys))
+	}
+}
+
+func TestDisassembleRendersEveryInstruction(t *testing.T) {
+	l := lowerTriangle(t)
+	dis := l.Disassemble()
+	lines := strings.Split(strings.TrimRight(dis, "\n"), "\n")
+	if len(lines) != len(l.Code) {
+		t.Fatalf("disassembly has %d lines for %d instructions:\n%s", len(lines), len(l.Code), dis)
+	}
+	for _, frag := range []string{"loop.begin", "loop.next", "set", "count", "global.add", "∩"} {
+		if !strings.Contains(dis, frag) {
+			t.Fatalf("disassembly missing %q:\n%s", frag, dis)
+		}
+	}
+}
+
+func TestLowerFusesRemoveChain(t *testing.T) {
+	// N(v1) − {v0} − {v1} feeding only a size must fuse into one ICount
+	// with two excluded variables and no surviving OpRemove defs.
+	b := NewBuilder(0)
+	all := b.All()
+	gl := b.NewGlobal()
+	v0 := b.BeginLoop(all, nil)
+	n0 := b.Neighbors(v0)
+	v1 := b.BeginLoop(n0, nil)
+	n1 := b.Neighbors(v1)
+	r1 := b.Remove(n1, v0)
+	r2 := b.Remove(r1, v1)
+	x := b.Size(r2)
+	b.GlobalAdd(gl, x, 1)
+	b.EndLoop()
+	b.EndLoop()
+	l := Lower(b.Finish())
+
+	var count *Instr
+	for i := range l.Code {
+		ins := &l.Code[i]
+		if ins.Op == ISetDef && ins.Set == OpRemove {
+			t.Fatalf("unfused remove at %d:\n%s", i, l.Disassemble())
+		}
+		if ins.Op == ICount {
+			count = ins
+		}
+	}
+	if count == nil {
+		t.Fatalf("no fused count:\n%s", l.Disassemble())
+	}
+	if count.NKeys != 2 {
+		t.Fatalf("fused count has %d excluded vars, want 2:\n%s", count.NKeys, l.Disassemble())
+	}
+	if count.B != -1 || count.V != -1 || count.SA != -1 {
+		t.Fatalf("fused count has unexpected operands %+v", count)
+	}
+	// Compaction must have re-resolved loop offsets.
+	for i := range l.Code {
+		ins := &l.Code[i]
+		if ins.Op == ILoopNext && l.Code[ins.Off].Op != ILoopBegin {
+			t.Fatalf("post-compaction back-edge %d -> %d broken", i, ins.Off)
+		}
+	}
+}
+
+func TestLowerFusesTrimIntoBound(t *testing.T) {
+	// s ∩ {x > v} then size fuses into a bounded count; chained onto an
+	// intersection it absorbs both into a single instruction.
+	b := NewBuilder(0)
+	all := b.All()
+	gl := b.NewGlobal()
+	v0 := b.BeginLoop(all, nil)
+	n0 := b.Neighbors(v0)
+	v1 := b.BeginLoop(n0, nil)
+	n1 := b.Neighbors(v1)
+	c := b.Intersect(n0, n1)
+	trimmed := b.TrimBelow(c, v1)
+	x := b.Size(trimmed)
+	b.GlobalAdd(gl, x, 1)
+	b.EndLoop()
+	b.EndLoop()
+	l := Lower(b.Finish())
+
+	var count *Instr
+	for i := range l.Code {
+		ins := &l.Code[i]
+		if ins.Op == ISetDef && (ins.Set == OpIntersect || ins.Set == OpTrimBelow) {
+			t.Fatalf("unfused set op at %d:\n%s", i, l.Disassemble())
+		}
+		if ins.Op == ICount {
+			count = ins
+		}
+	}
+	if count == nil {
+		t.Fatalf("no fused count:\n%s", l.Disassemble())
+	}
+	if count.B < 0 {
+		t.Fatalf("intersection not absorbed: %+v", count)
+	}
+	if count.V != int32(v1) {
+		t.Fatalf("lower bound var %d, want %d", count.V, v1)
+	}
+}
+
+func TestLowerDoesNotFuseMultiUseSets(t *testing.T) {
+	// A set that is both sized and iterated must stay materialized.
+	b := NewBuilder(0)
+	all := b.All()
+	gl := b.NewGlobal()
+	v0 := b.BeginLoop(all, nil)
+	n0 := b.Neighbors(v0)
+	r := b.Remove(n0, v0)
+	x := b.Size(r)
+	b.GlobalAdd(gl, x, 1)
+	v1 := b.BeginLoop(r, nil)
+	one := b.Const(1)
+	b.GlobalAdd(gl, one, 1)
+	_ = v1
+	b.EndLoop()
+	b.EndLoop()
+	l := Lower(b.Finish())
+
+	foundRemove := false
+	for i := range l.Code {
+		ins := &l.Code[i]
+		if ins.Op == ISetDef && ins.Set == OpRemove {
+			foundRemove = true
+		}
+		if ins.Op == ICount {
+			t.Fatalf("multi-use set wrongly fused:\n%s", l.Disassemble())
+		}
+	}
+	if !foundRemove {
+		t.Fatalf("remove def disappeared:\n%s", l.Disassemble())
+	}
+}
+
+func TestLowerOptimizedProgram(t *testing.T) {
+	// Lowering must accept whatever the optimizer produces.
+	b := NewBuilder(0)
+	all := b.All()
+	v0 := b.BeginLoop(all, nil)
+	n0 := b.Neighbors(v0)
+	n0b := b.TrimAbove(n0, v0)
+	v1 := b.BeginLoop(n0b, nil)
+	n1 := b.Neighbors(v1)
+	common := b.Intersect(n0, n1)
+	x := b.CountBelow(common, v1)
+	g := b.NewGlobal()
+	b.GlobalAdd(g, x, 1)
+	b.EndLoop()
+	b.EndLoop()
+	prog := b.Finish()
+	Optimize(prog)
+	l := Lower(prog)
+	if len(l.Code) == 0 || len(l.Segments) == 0 {
+		t.Fatal("empty lowering of optimized program")
+	}
+	for i := range l.Code {
+		ins := &l.Code[i]
+		if ins.Op == ILoopBegin && (ins.Off <= int32(i) || ins.Off > int32(len(l.Code))) {
+			t.Fatalf("instr %d: bad loop exit %d", i, ins.Off)
+		}
+		if ins.Op == ICondSkip && (ins.Off <= int32(i) || ins.Off > int32(len(l.Code))) {
+			t.Fatalf("instr %d: bad cond target %d", i, ins.Off)
+		}
+	}
+}

@@ -8,6 +8,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"decomine/internal/ast"
 	"decomine/internal/decomp"
@@ -43,6 +44,18 @@ type Plan struct {
 	// interpret emitted partial embeddings (subpattern shapes and the
 	// subpattern-to-whole vertex mappings).
 	Decomposition *decomp.Decomposition
+
+	lowerOnce sync.Once
+	lowered   *ast.Lowered
+}
+
+// Lowered returns the plan's bytecode form, lowering Prog on first call
+// and caching the result. The Prog must not be mutated after the first
+// call (plans are immutable once built, so callers get amortized-free
+// bytecode across repeated executions of a cached plan).
+func (p *Plan) Lowered() *ast.Lowered {
+	p.lowerOnce.Do(func() { p.lowered = ast.Lower(p.Prog) })
+	return p.lowered
 }
 
 // genCtx carries shared state across the generation of one program.

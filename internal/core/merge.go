@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"decomine/internal/ast"
 )
@@ -20,6 +21,16 @@ type MergedPlan struct {
 	// FusedLoops reports how many loops the reuse pass merged (0 means
 	// the plans shared nothing).
 	FusedLoops int
+
+	lowerOnce sync.Once
+	lowered   *ast.Lowered
+}
+
+// Lowered returns the merged program's bytecode form, lowering on first
+// call and caching the result (the merged Prog is immutable once built).
+func (m *MergedPlan) Lowered() *ast.Lowered {
+	m.lowerOnce.Do(func() { m.lowered = ast.Lower(m.Prog) })
+	return m.lowered
 }
 
 // MergePlans concatenates count-mode plans and applies the reuse pass.

@@ -28,6 +28,20 @@ func (f ConsumerFunc) Process(sub int, verts []uint32, count int64) bool {
 	return f(sub, verts, count)
 }
 
+// Interp selects the execution engine for a run.
+type Interp uint8
+
+const (
+	// InterpVM executes programs on the flat bytecode VM (default): the
+	// optimized AST is lowered once per run (or reused via Options.Code)
+	// and each worker runs a non-recursive dispatch loop over the
+	// instruction stream with arena-backed set buffers.
+	InterpVM Interp = iota
+	// InterpTree executes programs on the original recursive
+	// tree-walking interpreter; kept for differential testing.
+	InterpTree
+)
+
 // Options configures a run.
 type Options struct {
 	// Threads is the number of workers; 0 means GOMAXPROCS.
@@ -42,6 +56,13 @@ type Options struct {
 	// outer-loop chunk boundary; the Result reports Canceled=true. Used
 	// by the experiment harness to enforce per-cell time budgets.
 	Cancel *atomic.Bool
+	// Interpreter selects the execution engine (bytecode VM by default).
+	Interpreter Interp
+	// Code optionally supplies a pre-lowered bytecode program for prog
+	// (e.g. a cached Plan.Lowered()), skipping the lowering pass. It is
+	// ignored when it was lowered from a different Program or when the
+	// tree-walker is selected.
+	Code *ast.Lowered
 }
 
 // Result carries the merged global accumulators and execution metadata.
@@ -53,6 +74,41 @@ type Result struct {
 	// Canceled reports that Options.Cancel aborted the run; Globals are
 	// then partial.
 	Canceled bool
+	// OpCounts[op] counts executed bytecode instructions per ast.OpCode,
+	// merged across workers. Nil under the tree-walking interpreter.
+	OpCounts []int64
+}
+
+// InstructionsExecuted sums OpCounts; 0 under the tree-walker.
+func (r *Result) InstructionsExecuted() int64 {
+	var total int64
+	for _, c := range r.OpCounts {
+		total += c
+	}
+	return total
+}
+
+// runner abstracts one interpreter's per-worker state behind the shared
+// parallel driver: the program is a sequence of top-level statements, of
+// which loops are the parallelizable units (the driver binds the loop
+// variable per chunk via execChunk).
+type runner interface {
+	pin(pins []uint32)
+	numTop() int
+	// topLoop returns the iteration set of top-level statement i, or
+	// (nil, false) when it is not a loop.
+	topLoop(i int) ([]uint32, bool)
+	// execTop runs top-level statement i whole on this frame.
+	execTop(i int) bool
+	// execChunk runs loop statement i's body over an explicit element
+	// slice; false means a consumer stopped the run.
+	execChunk(i int, elems []uint32) bool
+	fork() runner
+	setConsumer(c Consumer)
+	// mergeFrom folds a worker's accumulators into this (master) frame.
+	mergeFrom(w runner)
+	// finish publishes the master frame's accumulators into res.
+	finish(res *Result)
 }
 
 // Run executes a program against g and returns the merged globals.
@@ -77,6 +133,25 @@ func Run(g *graph.Graph, prog *ast.Program, opts Options) (*Result, error) {
 		return nil, fmt.Errorf("engine: program emits partial embeddings but no consumer factory given")
 	}
 
+	// The master frame executes root-level statements; each top-level
+	// loop is run by the parallel driver.
+	var master runner
+	switch opts.Interpreter {
+	case InterpTree:
+		master = newFrame(g, prog, nil)
+	default:
+		bc := opts.Code
+		if bc == nil || bc.Prog != prog {
+			bc = ast.Lower(prog)
+		}
+		master = newVMFrame(newVMShared(g, bc), nil)
+	}
+	master.pin(opts.Pins)
+	res := &Result{
+		Globals:       make([]int64, prog.NumGlobals),
+		WorkPerThread: make([]int64, threads),
+	}
+
 	// One consumer per worker index, shared across top-level loops so
 	// stateful consumers (FSM domains) see the whole run.
 	consumers := make([]Consumer, threads)
@@ -87,31 +162,19 @@ func Run(g *graph.Graph, prog *ast.Program, opts Options) (*Result, error) {
 		return consumers[t]
 	}
 
-	// The master frame executes root-level statements; each top-level
-	// loop is run by the parallel driver.
-	master := newFrame(g, prog, nil)
-	copy(master.vars, opts.Pins)
-	res := &Result{
-		Globals:       make([]int64, prog.NumGlobals),
-		WorkPerThread: make([]int64, threads),
-	}
-
-	master.consumer = getConsumer(0)
+	master.setConsumer(getConsumer(0))
 	stopped := false
-	for _, n := range prog.Root.Body {
-		if stopped {
-			break
-		}
-		if n.Kind != ast.KLoop {
+	for i := 0; i < master.numTop() && !stopped; i++ {
+		over, isLoop := master.topLoop(i)
+		if !isLoop {
 			// Root-level statements (defs, and emissions of fully pinned
 			// programs) run on the master frame; a consumer may stop the
 			// run here too.
-			if !master.execOK(n) {
+			if !master.execTop(i) {
 				stopped = true
 			}
 			continue
 		}
-		over := master.sets[n.Over]
 		if threads == 1 || len(over) < 2 {
 			// Sequential fast path (also used by bounded materialization),
 			// chunked so cancellation is observed.
@@ -126,7 +189,7 @@ func Run(g *graph.Graph, prog *ast.Program, opts Options) (*Result, error) {
 				if end > len(over) {
 					end = len(over)
 				}
-				if !master.loopRange(n, over[start:end]) {
+				if !master.execChunk(i, over[start:end]) {
 					stopped = true
 					break
 				}
@@ -145,13 +208,13 @@ func Run(g *graph.Graph, prog *ast.Program, opts Options) (*Result, error) {
 		var next int64
 		var stopFlag int64
 		var wg sync.WaitGroup
-		workers := make([]*frame, threads)
+		workers := make([]runner, threads)
 		for t := 0; t < threads; t++ {
 			wg.Add(1)
 			w := master.fork()
-			w.consumer = getConsumer(t)
+			w.setConsumer(getConsumer(t))
 			workers[t] = w
-			go func(t int, w *frame) {
+			go func(t int, w runner) {
 				defer wg.Done()
 				for {
 					if opts.Cancel != nil && opts.Cancel.Load() {
@@ -167,7 +230,7 @@ func Run(g *graph.Graph, prog *ast.Program, opts Options) (*Result, error) {
 						end = len(over)
 					}
 					res.WorkPerThread[t] += int64(end - start)
-					if !w.loopRange(n, over[start:end]) {
+					if !w.execChunk(i, over[start:end]) {
 						atomic.StoreInt64(&stopFlag, 1)
 						atomic.StoreInt64(&next, int64(len(over))) // drain
 						return
@@ -185,12 +248,10 @@ func Run(g *graph.Graph, prog *ast.Program, opts Options) (*Result, error) {
 		// Privatized accumulators: merge per-worker globals under no
 		// contention (associative + commutative updates, §7.1).
 		for _, w := range workers {
-			for i, v := range w.globals {
-				master.globals[i] += v
-			}
+			master.mergeFrom(w)
 		}
 	}
-	copy(res.Globals, master.globals)
+	master.finish(res)
 	return res, nil
 }
 
@@ -239,8 +300,39 @@ func newFrame(g *graph.Graph, prog *ast.Program, parent *frame) *frame {
 	return f
 }
 
+// --- runner interface (shared parallel driver) ---
+
+func (f *frame) pin(pins []uint32) { copy(f.vars, pins) }
+
+func (f *frame) numTop() int { return len(f.prog.Root.Body) }
+
+func (f *frame) topLoop(i int) ([]uint32, bool) {
+	n := f.prog.Root.Body[i]
+	if n.Kind != ast.KLoop {
+		return nil, false
+	}
+	return f.sets[n.Over], true
+}
+
+func (f *frame) execTop(i int) bool { return f.execOK(f.prog.Root.Body[i]) }
+
+func (f *frame) execChunk(i int, elems []uint32) bool {
+	return f.loopRange(f.prog.Root.Body[i], elems)
+}
+
 // fork creates a worker frame sharing the master's root-level set values.
-func (f *frame) fork() *frame { return newFrame(f.g, f.prog, f) }
+func (f *frame) fork() runner { return newFrame(f.g, f.prog, f) }
+
+func (f *frame) setConsumer(c Consumer) { f.consumer = c }
+
+func (f *frame) mergeFrom(w runner) {
+	wf := w.(*frame)
+	for i, v := range wf.globals {
+		f.globals[i] += v
+	}
+}
+
+func (f *frame) finish(res *Result) { copy(res.Globals, f.globals) }
 
 // loopRange executes a loop node over an explicit element slice,
 // returning false if a consumer requested early termination.

@@ -1,0 +1,444 @@
+package engine
+
+// The bytecode VM: a single non-recursive dispatch loop per worker over
+// the flat instruction stream produced by ast.Lower. Compared to the
+// tree-walking interpreter it removes the per-node interface dispatch,
+// Body slice traversal and execOK recursion from the inner mining loops,
+// and it preallocates all set buffers in one per-worker arena sized from
+// a static bound analysis of the instruction stream, so steady-state
+// execution performs no allocations at all.
+
+import (
+	"fmt"
+
+	"decomine/internal/ast"
+	"decomine/internal/graph"
+	"decomine/internal/vset"
+)
+
+// vmShared is the per-Run immutable state shared by every worker frame:
+// the bytecode, the graph, the identity vertex slice backing OpAll
+// registers, and the arena capacity plan for the set buffers.
+type vmShared struct {
+	g  *graph.Graph
+	bc *ast.Lowered
+	// allVerts is the shared read-only identity slice aliased by every
+	// OpAll register (nil when the program defines none).
+	allVerts []uint32
+	// bufCap[r] is the arena capacity reserved for set register r; 0 for
+	// registers that alias existing storage (OpAll, OpNeighbors) and so
+	// need no buffer.
+	bufCap []int
+	// arenaLen is the total arena length (sum of bufCap).
+	arenaLen int
+}
+
+func newVMShared(g *graph.Graph, bc *ast.Lowered) *vmShared {
+	prog := bc.Prog
+	sh := &vmShared{g: g, bc: bc, bufCap: make([]int, prog.NumSets)}
+	n := g.NumVertices()
+	maxDeg := g.MaxDegree()
+	// Static size bounds per set register. Definitions are SSA (one def
+	// site per register), so a single pass in instruction order sees
+	// every def after its operands' defs.
+	bound := make([]int, prog.NumSets)
+	needAll := false
+	for i := range bc.Code {
+		ins := &bc.Code[i]
+		if ins.Op != ast.ISetDef {
+			continue
+		}
+		switch ins.Set {
+		case ast.OpAll:
+			bound[ins.Dst] = n
+			needAll = true
+		case ast.OpNeighbors:
+			bound[ins.Dst] = maxDeg
+		case ast.OpIntersect:
+			b := bound[ins.A]
+			if bb := bound[ins.B]; bb < b {
+				b = bb
+			}
+			bound[ins.Dst] = b
+			sh.bufCap[ins.Dst] = b
+		default:
+			// Subtract, Remove, trims, copy and label filters never
+			// produce more elements than their primary operand.
+			bound[ins.Dst] = bound[ins.A]
+			sh.bufCap[ins.Dst] = bound[ins.A]
+		}
+	}
+	for _, c := range sh.bufCap {
+		sh.arenaLen += c
+	}
+	if needAll {
+		sh.allVerts = make([]uint32, n)
+		for i := range sh.allVerts {
+			sh.allVerts[i] = uint32(i)
+		}
+	}
+	return sh
+}
+
+// vmFrame is a per-worker register file plus loop iteration state. Set
+// buffers come from one contiguous arena allocated at frame creation and
+// reused across every iteration.
+type vmFrame struct {
+	sh       *vmShared
+	vars     []uint32
+	sets     [][]uint32 // current value per set register
+	bufs     [][]uint32 // arena-backed storage per set register
+	scalars  []int64
+	globalsV []int64
+	tables   []*HashTable
+	keyBuf   []uint32
+	consumer Consumer
+
+	// iter[l] / cur[l] are loop l's next-element index and captured
+	// iteration set, indexed by Instr.LoopID.
+	iter []int
+	cur  [][]uint32
+
+	// opCounts[op] counts executed instructions per opcode.
+	opCounts [ast.NumOpcodes]int64
+}
+
+func newVMFrame(sh *vmShared, parent *vmFrame) *vmFrame {
+	prog := sh.bc.Prog
+	f := &vmFrame{
+		sh:       sh,
+		vars:     make([]uint32, prog.NumVars),
+		sets:     make([][]uint32, prog.NumSets),
+		bufs:     make([][]uint32, prog.NumSets),
+		scalars:  make([]int64, prog.NumScalars),
+		globalsV: make([]int64, prog.NumGlobals),
+		keyBuf:   make([]uint32, 0, prog.MaxKey+4),
+		iter:     make([]int, sh.bc.NumLoops),
+		cur:      make([][]uint32, sh.bc.NumLoops),
+	}
+	arena := make([]uint32, sh.arenaLen)
+	off := 0
+	for r, c := range sh.bufCap {
+		if c > 0 {
+			f.bufs[r] = arena[off:off : off+c]
+			off += c
+		}
+	}
+	f.tables = make([]*HashTable, prog.NumTables)
+	for i := range f.tables {
+		width := 1
+		if i < len(prog.TableWidths) && prog.TableWidths[i] > 0 {
+			width = prog.TableWidths[i]
+		}
+		f.tables[i] = NewHashTable(width)
+	}
+	if parent != nil {
+		copy(f.vars, parent.vars)
+		copy(f.scalars, parent.scalars)
+		// Root-level set registers are SSA and read-only within loops,
+		// so workers may alias the master's slices.
+		copy(f.sets, parent.sets)
+	}
+	return f
+}
+
+// exec runs the instructions in [start, end), returning false if a
+// consumer requested early termination of the whole run.
+//
+// Hot state (instruction stream, register files, loop cursors) is
+// hoisted into locals so the dispatch loop keeps it in registers, and
+// the inner-loop workhorses — neighbor aliasing, intersection, trims,
+// set sizes and sorted-prefix counts — are inlined into the switch to
+// avoid a call per instruction; the long tail of opcodes dispatches to
+// execSet/execScalar.
+func (f *vmFrame) exec(start, end int32) bool {
+	code := f.sh.bc.Code
+	g := f.sh.g
+	vars := f.vars
+	sets := f.sets
+	scalars := f.scalars
+	iter := f.iter
+	cur := f.cur
+	counts := &f.opCounts
+	for pc := start; pc < end; {
+		ins := &code[pc]
+		counts[ins.Op]++
+		switch ins.Op {
+		case ast.ILoopBegin:
+			s := sets[ins.A]
+			if len(s) == 0 {
+				pc = ins.Off
+				continue
+			}
+			cur[ins.LoopID] = s
+			iter[ins.LoopID] = 1
+			vars[ins.Dst] = s[0]
+			pc++
+		case ast.ILoopNext:
+			id := ins.LoopID
+			s := cur[id]
+			if i := iter[id]; i < len(s) {
+				vars[ins.Dst] = s[i]
+				iter[id] = i + 1
+				pc = ins.Off + 1
+				continue
+			}
+			pc++
+		case ast.ISetDef:
+			switch ins.Set {
+			case ast.OpNeighbors:
+				// Alias the CSR adjacency directly: zero copies.
+				sets[ins.Dst] = g.Neighbors(vars[ins.V])
+			case ast.OpIntersect:
+				d := vset.Intersect(f.bufs[ins.Dst], sets[ins.A], sets[ins.B])
+				f.bufs[ins.Dst] = d
+				sets[ins.Dst] = d
+			case ast.OpTrimAbove:
+				d := vset.TrimAbove(f.bufs[ins.Dst], sets[ins.A], vars[ins.V])
+				f.bufs[ins.Dst] = d
+				sets[ins.Dst] = d
+			case ast.OpTrimBelow:
+				d := vset.TrimBelow(f.bufs[ins.Dst], sets[ins.A], vars[ins.V])
+				f.bufs[ins.Dst] = d
+				sets[ins.Dst] = d
+			default:
+				f.execSet(ins)
+			}
+			pc++
+		case ast.IScalarDef:
+			switch ins.SOp {
+			case ast.SSize:
+				scalars[ins.Dst] = int64(len(sets[ins.A]))
+			case ast.SConst:
+				scalars[ins.Dst] = ins.Imm
+			case ast.SCountAbove:
+				scalars[ins.Dst] = vset.CountAbove(sets[ins.A], vars[ins.V])
+			case ast.SCountBelow:
+				scalars[ins.Dst] = vset.CountBelow(sets[ins.A], vars[ins.V])
+			default:
+				scalars[ins.Dst] = f.execScalar(ins)
+			}
+			pc++
+		case ast.IScalarReset:
+			scalars[ins.Dst] = ins.Imm
+			pc++
+		case ast.IScalarAccum:
+			scalars[ins.Dst] += ins.Imm * scalars[ins.SA]
+			pc++
+		case ast.IGlobalAdd:
+			f.globalsV[ins.Dst] += ins.Imm * scalars[ins.SA]
+			pc++
+		case ast.IHashClear:
+			f.tables[ins.A].Clear()
+			pc++
+		case ast.IHashInc:
+			f.tables[ins.A].Add(f.key(ins), ins.Imm)
+			pc++
+		case ast.IHashGet:
+			scalars[ins.Dst] = f.tables[ins.A].Get(f.key(ins))
+			pc++
+		case ast.ICondSkip:
+			if scalars[ins.SA] > 0 {
+				pc++
+			} else {
+				pc = ins.Off
+			}
+		case ast.IEmit:
+			if !f.consumer.Process(int(ins.Dst), f.key(ins), scalars[ins.SA]) {
+				return false
+			}
+			pc++
+		case ast.ICount:
+			// Fused counting: size of a windowed (and optionally
+			// intersected) set minus excluded members, with no set
+			// materialized. Bounds narrow the base as zero-copy
+			// subslices.
+			a := sets[ins.A]
+			if ins.V >= 0 {
+				a = vset.SliceAbove(a, vars[ins.V])
+			}
+			if ins.SA >= 0 {
+				a = vset.SliceBelow(a, vars[ins.SA])
+			}
+			var n int64
+			if ins.B >= 0 {
+				b := sets[ins.B]
+				n = vset.IntersectCount(a, b)
+				if ins.NKeys > 0 {
+					n -= f.exclCount(ins, a, b)
+				}
+			} else {
+				n = int64(len(a))
+				if ins.NKeys > 0 {
+					n -= f.exclCount(ins, a, nil)
+				}
+			}
+			scalars[ins.Dst] = n
+			pc++
+		default:
+			panic(fmt.Sprintf("engine: unknown opcode %d", ins.Op))
+		}
+	}
+	return true
+}
+
+// exclCount returns how many distinct excluded-variable values of a
+// fused ICount are members of a (and of b when b is non-nil). Values
+// are deduplicated at runtime: two excluded variables holding the same
+// vertex remove one element, not two.
+func (f *vmFrame) exclCount(ins *ast.Instr, a, b []uint32) int64 {
+	ks := f.sh.bc.KeyVars(ins)
+	var n int64
+	for i, kv := range ks {
+		v := f.vars[kv]
+		dup := false
+		for _, pv := range ks[:i] {
+			if f.vars[pv] == v {
+				dup = true
+				break
+			}
+		}
+		if !dup && vset.Contains(a, v) && (b == nil || vset.Contains(b, v)) {
+			n++
+		}
+	}
+	return n
+}
+
+func (f *vmFrame) key(ins *ast.Instr) []uint32 {
+	ks := f.sh.bc.KeyVars(ins)
+	buf := f.keyBuf[:len(ks)]
+	for i, v := range ks {
+		buf[i] = f.vars[v]
+	}
+	return buf
+}
+
+func (f *vmFrame) execSet(ins *ast.Instr) {
+	dst := f.bufs[ins.Dst]
+	switch ins.Set {
+	case ast.OpAll:
+		f.sets[ins.Dst] = f.sh.allVerts
+		return
+	case ast.OpNeighbors:
+		// Alias the CSR adjacency directly: zero copies.
+		f.sets[ins.Dst] = f.sh.g.Neighbors(f.vars[ins.V])
+		return
+	case ast.OpIntersect:
+		dst = vset.Intersect(dst, f.sets[ins.A], f.sets[ins.B])
+	case ast.OpSubtract:
+		dst = vset.Subtract(dst, f.sets[ins.A], f.sets[ins.B])
+	case ast.OpRemove:
+		dst = vset.Remove(dst, f.sets[ins.A], f.vars[ins.V])
+	case ast.OpTrimAbove:
+		dst = vset.TrimAbove(dst, f.sets[ins.A], f.vars[ins.V])
+	case ast.OpTrimBelow:
+		dst = vset.TrimBelow(dst, f.sets[ins.A], f.vars[ins.V])
+	case ast.OpCopy:
+		dst = vset.Copy(dst, f.sets[ins.A])
+	case ast.OpFilterLabel:
+		dst = dst[:0]
+		want := uint32(ins.Imm)
+		for _, x := range f.sets[ins.A] {
+			if f.sh.g.Label(x) == want {
+				dst = append(dst, x)
+			}
+		}
+	case ast.OpFilterLabelOfVar:
+		dst = dst[:0]
+		want := f.sh.g.Label(f.vars[ins.V])
+		for _, x := range f.sets[ins.A] {
+			if f.sh.g.Label(x) == want {
+				dst = append(dst, x)
+			}
+		}
+	case ast.OpFilterLabelNotOfVar:
+		dst = dst[:0]
+		avoid := f.sh.g.Label(f.vars[ins.V])
+		for _, x := range f.sets[ins.A] {
+			if f.sh.g.Label(x) != avoid {
+				dst = append(dst, x)
+			}
+		}
+	}
+	f.bufs[ins.Dst] = dst
+	f.sets[ins.Dst] = dst
+}
+
+func (f *vmFrame) execScalar(ins *ast.Instr) int64 {
+	switch ins.SOp {
+	case ast.SSize:
+		return int64(len(f.sets[ins.A]))
+	case ast.SConst:
+		return ins.Imm
+	case ast.SMul:
+		return f.scalars[ins.SA] * f.scalars[ins.SB]
+	case ast.SDiv:
+		d := f.scalars[ins.SB]
+		if d == 0 {
+			return 0
+		}
+		return f.scalars[ins.SA] / d
+	case ast.SSub:
+		return f.scalars[ins.SA] - f.scalars[ins.SB]
+	case ast.SAdd:
+		return f.scalars[ins.SA] + f.scalars[ins.SB]
+	case ast.SCountAbove:
+		return vset.CountAbove(f.sets[ins.A], f.vars[ins.V])
+	case ast.SCountBelow:
+		return vset.CountBelow(f.sets[ins.A], f.vars[ins.V])
+	}
+	panic(fmt.Sprintf("engine: unknown scalar op %d", ins.SOp))
+}
+
+// --- runner interface (shared parallel driver) ---
+
+func (f *vmFrame) pin(pins []uint32) { copy(f.vars, pins) }
+
+func (f *vmFrame) numTop() int { return len(f.sh.bc.Segments) }
+
+func (f *vmFrame) topLoop(i int) ([]uint32, bool) {
+	seg := &f.sh.bc.Segments[i]
+	if !seg.Loop {
+		return nil, false
+	}
+	return f.sets[seg.Over], true
+}
+
+func (f *vmFrame) execTop(i int) bool {
+	seg := &f.sh.bc.Segments[i]
+	return f.exec(seg.Start, seg.End)
+}
+
+func (f *vmFrame) execChunk(i int, elems []uint32) bool {
+	seg := &f.sh.bc.Segments[i]
+	// The driver owns the top-level iteration, so the segment's own
+	// ILoopBegin/ILoopNext pair is skipped: bind and run the body.
+	for _, v := range elems {
+		f.vars[seg.Var] = v
+		if !f.exec(seg.Start+1, seg.End-1) {
+			return false
+		}
+	}
+	return true
+}
+
+func (f *vmFrame) fork() runner { return newVMFrame(f.sh, f) }
+
+func (f *vmFrame) setConsumer(c Consumer) { f.consumer = c }
+
+func (f *vmFrame) mergeFrom(w runner) {
+	wf := w.(*vmFrame)
+	for i, v := range wf.globalsV {
+		f.globalsV[i] += v
+	}
+	for i, c := range wf.opCounts {
+		f.opCounts[i] += c
+	}
+}
+
+func (f *vmFrame) finish(res *Result) {
+	copy(res.Globals, f.globalsV)
+	res.OpCounts = make([]int64, ast.NumOpcodes)
+	copy(res.OpCounts, f.opCounts[:])
+}

@@ -1,0 +1,337 @@
+package engine
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"decomine/internal/ast"
+	"decomine/internal/graph"
+)
+
+// vmTestPrograms collects programs covering every opcode class so the
+// interpreters can be compared head to head.
+func vmTestPrograms() map[string]*ast.Program {
+	progs := map[string]*ast.Program{
+		"triangle": buildTriangleProgram(),
+		"slow":     slowProgram(),
+	}
+
+	// Trims + CountBelow (symmetry-broken triangle).
+	b := ast.NewBuilder(0)
+	all := b.All()
+	v0 := b.BeginLoop(all, nil)
+	n0 := b.Neighbors(v0)
+	n0t := b.TrimAbove(n0, v0)
+	v1 := b.BeginLoop(n0t, nil)
+	n1 := b.Neighbors(v1)
+	common := b.Intersect(n0, n1)
+	x := b.CountBelow(common, v1)
+	gl := b.NewGlobal()
+	b.GlobalAdd(gl, x, 1)
+	b.EndLoop()
+	b.EndLoop()
+	progs["trimmed"] = b.Finish()
+
+	// Hash tables + conditional.
+	b = ast.NewBuilder(0)
+	all = b.All()
+	tab := b.NewTable()
+	gl = b.NewGlobal()
+	v0 = b.BeginLoop(all, nil)
+	b.HashClear(tab)
+	n0 = b.Neighbors(v0)
+	d := b.Size(n0)
+	b.BeginCond(d)
+	v1 = b.BeginLoop(n0, nil)
+	b.HashInc(tab, []int{v1}, 1)
+	b.EndLoop()
+	v2 := b.BeginLoop(n0, nil)
+	got := b.HashGet(tab, []int{v2})
+	b.GlobalAdd(gl, got, 1)
+	b.EndLoop()
+	b.EndCond()
+	b.EndLoop()
+	progs["hashcond"] = b.Finish()
+
+	// Accumulators + subtract + remove.
+	b = ast.NewBuilder(0)
+	all = b.All()
+	gl = b.NewGlobal()
+	acc := b.NewAccumulator()
+	v0 = b.BeginLoop(all, nil)
+	b.Reset(acc, 0)
+	n0 = b.Neighbors(v0)
+	rest := b.Subtract(all, n0)
+	rest2 := b.Remove(rest, v0)
+	sz := b.Size(rest2)
+	b.Accum(acc, sz, 2)
+	b.GlobalAdd(gl, acc, 1)
+	b.EndLoop()
+	progs["accum"] = b.Finish()
+
+	return progs
+}
+
+// runBoth executes prog under both interpreters with the same settings.
+func runBoth(t *testing.T, g *graph.Graph, prog *ast.Program, opts Options) (vm, tree *Result) {
+	t.Helper()
+	opts.Interpreter = InterpVM
+	vm, err := Run(g, prog, opts)
+	if err != nil {
+		t.Fatalf("vm: %v", err)
+	}
+	opts.Interpreter = InterpTree
+	tree, err = Run(g, prog, opts)
+	if err != nil {
+		t.Fatalf("tree: %v", err)
+	}
+	return vm, tree
+}
+
+func TestVMMatchesTreeWalker(t *testing.T) {
+	g := graph.GNP(150, 0.08, 99)
+	for name, prog := range vmTestPrograms() {
+		for _, threads := range []int{1, 4} {
+			vm, tree := runBoth(t, g, prog, Options{Threads: threads})
+			for i := range vm.Globals {
+				if vm.Globals[i] != tree.Globals[i] {
+					t.Errorf("%s threads=%d global %d: vm %d, tree %d",
+						name, threads, i, vm.Globals[i], tree.Globals[i])
+				}
+			}
+		}
+	}
+}
+
+func TestVMMatchesTreeWalkerLabeled(t *testing.T) {
+	bld := graph.NewBuilder(60)
+	for i := 0; i < 59; i++ {
+		bld.AddEdge(uint32(i), uint32(i+1))
+		if i%3 == 0 && i+5 < 60 {
+			bld.AddEdge(uint32(i), uint32(i+5))
+		}
+	}
+	labels := make([]uint32, 60)
+	for i := range labels {
+		labels[i] = uint32(i % 3)
+	}
+	bld.SetLabels(labels)
+	g, err := bld.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	b := ast.NewBuilder(0)
+	all := b.All()
+	lbl := b.FilterLabel(all, 1)
+	gl := b.NewGlobal()
+	v0 := b.BeginLoop(lbl, nil)
+	n0 := b.Neighbors(v0)
+	same := b.FilterLabelOfVar(n0, v0)
+	diff := b.FilterLabelNotOfVar(n0, v0)
+	xs := b.Size(same)
+	xd := b.Size(diff)
+	tot := b.Add(xs, xd)
+	b.GlobalAdd(gl, tot, 1)
+	b.EndLoop()
+	prog := b.Finish()
+
+	vm, tree := runBoth(t, g, prog, Options{Threads: 2})
+	if vm.Globals[0] != tree.Globals[0] {
+		t.Fatalf("labeled: vm %d, tree %d", vm.Globals[0], tree.Globals[0])
+	}
+}
+
+func TestVMOpCountsPopulated(t *testing.T) {
+	g := graph.GNP(100, 0.1, 7)
+	prog := buildTriangleProgram()
+	res, err := Run(g, prog, Options{Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OpCounts == nil {
+		t.Fatal("VM run returned nil OpCounts")
+	}
+	if res.InstructionsExecuted() == 0 {
+		t.Fatal("VM executed 0 instructions")
+	}
+	// Every inner-loop iteration evaluates an intersection, so ISetDef
+	// executions must dominate loop.begin executions.
+	if res.OpCounts[ast.ISetDef] == 0 || res.OpCounts[ast.ILoopNext] == 0 {
+		t.Fatalf("expected set/loop.next activity, got %v", res.OpCounts)
+	}
+	// Parallel and sequential execute the same instruction mix (the
+	// driver replaces only the top-level loop.begin/loop.next pair, which
+	// the VM never executes for parallelized loops either way).
+	seq, err := Run(g, prog, Options{Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for op := range res.OpCounts {
+		if res.OpCounts[op] != seq.OpCounts[op] {
+			t.Fatalf("op %s: parallel %d, sequential %d",
+				ast.OpCode(op), res.OpCounts[op], seq.OpCounts[op])
+		}
+	}
+
+	tree, err := Run(g, prog, Options{Threads: 2, Interpreter: InterpTree})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.OpCounts != nil {
+		t.Fatal("tree-walker should not report OpCounts")
+	}
+	if tree.InstructionsExecuted() != 0 {
+		t.Fatal("tree-walker InstructionsExecuted should be 0")
+	}
+}
+
+func TestVMPrecompiledCodeReuse(t *testing.T) {
+	g := graph.GNP(120, 0.1, 11)
+	prog := buildTriangleProgram()
+	code := ast.Lower(prog)
+	want, err := Run(g, prog, Options{Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		res, err := Run(g, prog, Options{Threads: 2, Code: code})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Globals[0] != want.Globals[0] {
+			t.Fatalf("run %d with precompiled code: %d, want %d", i, res.Globals[0], want.Globals[0])
+		}
+	}
+	// Code lowered from a different program must be ignored, not misused.
+	other := ast.Lower(slowProgram())
+	res, err := Run(g, prog, Options{Threads: 1, Code: other})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Globals[0] != want.Globals[0] {
+		t.Fatalf("mismatched Code not ignored: %d, want %d", res.Globals[0], want.Globals[0])
+	}
+}
+
+func TestVMEmitAndEarlyStop(t *testing.T) {
+	b := ast.NewBuilder(0)
+	all := b.All()
+	v0 := b.BeginLoop(all, nil)
+	n0 := b.Neighbors(v0)
+	n0t := b.TrimBelow(n0, v0)
+	v1 := b.BeginLoop(n0t, nil)
+	one := b.Const(1)
+	b.Emit(0, []int{v0, v1}, one)
+	b.EndLoop()
+	b.EndLoop()
+	prog := b.Finish()
+	g := graph.GNP(100, 0.1, 31)
+
+	for _, interp := range []Interp{InterpVM, InterpTree} {
+		var edges int64
+		_, err := Run(g, prog, Options{
+			Threads:     1,
+			Interpreter: interp,
+			NewConsumer: func(w int) Consumer {
+				return ConsumerFunc(func(sub int, verts []uint32, count int64) bool {
+					edges += count
+					return true
+				})
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if edges != g.NumEdges() {
+			t.Fatalf("interp %d emitted %d, want %d", interp, edges, g.NumEdges())
+		}
+
+		seen := 0
+		_, err = Run(g, prog, Options{
+			Threads:     1,
+			Interpreter: interp,
+			NewConsumer: func(w int) Consumer {
+				return ConsumerFunc(func(sub int, verts []uint32, count int64) bool {
+					seen++
+					return seen < 7
+				})
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen != 7 {
+			t.Fatalf("interp %d early stop saw %d emits", interp, seen)
+		}
+	}
+}
+
+func TestVMCancelParity(t *testing.T) {
+	g := graph.GNP(300, 0.05, 2)
+	for _, interp := range []Interp{InterpVM, InterpTree} {
+		var cancel atomic.Bool
+		cancel.Store(true)
+		res, err := Run(g, slowProgram(), Options{Threads: 4, Cancel: &cancel, Interpreter: interp})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Canceled {
+			t.Fatalf("interp %d: cancel not observed", interp)
+		}
+	}
+}
+
+func TestVMPinnedVars(t *testing.T) {
+	b := ast.NewBuilder(1)
+	n0 := b.Neighbors(0)
+	x := b.Size(n0)
+	gl := b.NewGlobal()
+	b.GlobalAdd(gl, x, 1)
+	prog := b.Finish()
+	code := ast.Lower(prog)
+
+	g := graph.GNP(100, 0.1, 41)
+	for _, v := range []uint32{0, 7, 99} {
+		res, err := Run(g, prog, Options{Threads: 1, Pins: []uint32{v}, Code: code})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Globals[0] != int64(g.Degree(v)) {
+			t.Fatalf("pinned deg(%d) = %d, want %d", v, res.Globals[0], g.Degree(v))
+		}
+	}
+}
+
+func TestVMArenaBoundsAreRespected(t *testing.T) {
+	// A program whose intersections chain through many registers; the
+	// arena bound analysis must leave every buffer large enough (append
+	// would still be correct, but counts prove no register clobbering).
+	b := ast.NewBuilder(0)
+	all := b.All()
+	gl := b.NewGlobal()
+	v0 := b.BeginLoop(all, nil)
+	n0 := b.Neighbors(v0)
+	v1 := b.BeginLoop(n0, nil)
+	n1 := b.Neighbors(v1)
+	c1 := b.Intersect(n0, n1)
+	v2 := b.BeginLoop(c1, nil)
+	n2 := b.Neighbors(v2)
+	c2 := b.Intersect(c1, n2)
+	c3 := b.Intersect(c2, n0)
+	x := b.Size(c3)
+	b.GlobalAdd(gl, x, 1)
+	b.EndLoop()
+	b.EndLoop()
+	b.EndLoop()
+	prog := b.Finish()
+
+	g := graph.GNP(120, 0.15, 3)
+	vm, tree := runBoth(t, g, prog, Options{Threads: 2})
+	if vm.Globals[0] != tree.Globals[0] {
+		t.Fatalf("deep intersect chain: vm %d, tree %d", vm.Globals[0], tree.Globals[0])
+	}
+	if vm.Globals[0] == 0 {
+		t.Fatal("test graph too sparse to exercise intersect chain")
+	}
+}

@@ -31,8 +31,10 @@ func costModels(g *graph.Graph) map[string]cost.Model {
 	}
 }
 
-// runPlanBudget executes a raw core plan under a budget.
-func runPlanBudget(g *graph.Graph, plan *core.Plan, threads int, budget time.Duration) (time.Duration, bool, error) {
+// runPlanBudget executes a raw core plan under a budget, additionally
+// reporting the number of bytecode instructions the VM executed (the
+// op-level work signal reported alongside wall time).
+func runPlanBudget(g *graph.Graph, plan *core.Plan, threads int, budget time.Duration) (dur time.Duration, ops int64, canceled bool, err error) {
 	var cancel *atomic.Bool
 	if budget > 0 {
 		cancel = &atomic.Bool{}
@@ -40,8 +42,11 @@ func runPlanBudget(g *graph.Graph, plan *core.Plan, threads int, budget time.Dur
 		defer timer.Stop()
 	}
 	start := time.Now()
-	res, err := engine.Run(g, plan.Prog, engine.Options{Threads: threads, Cancel: cancel})
-	return time.Since(start), err == nil && res.Canceled, err
+	res, err := engine.Run(g, plan.Prog, engine.Options{Threads: threads, Cancel: cancel, Code: plan.Lowered()})
+	if err != nil {
+		return time.Since(start), 0, false, err
+	}
+	return time.Since(start), res.InstructionsExecuted(), res.Canceled, nil
 }
 
 // pearson computes the linear correlation coefficient.
@@ -113,7 +118,7 @@ func Fig11b(cfg Config) *Table {
 			if err != nil {
 				continue
 			}
-			dur, canceled, err := runPlanBudget(g, plan, cfg.Threads, implBudget)
+			dur, _, canceled, err := runPlanBudget(g, plan, cfg.Threads, implBudget)
 			if err != nil || canceled {
 				continue // timeouts excluded: no measured runtime
 			}
@@ -163,7 +168,7 @@ func Fig11c(cfg Config) *Table {
 				durs[mname] = cell{err: err}
 				continue
 			}
-			d, canceled, err := runPlanBudget(g, best.Plan, cfg.Threads, cfg.Budget)
+			d, _, canceled, err := runPlanBudget(g, best.Plan, cfg.Threads, cfg.Budget)
 			durs[mname] = cell{dur: d, timedOut: canceled, err: err}
 		}
 		base := durs["AutoMine"]
@@ -233,7 +238,7 @@ func Fig14(cfg Config) *Table {
 func Fig15(cfg Config) *Table {
 	t := &Table{
 		Title:  "Figure 15: PLR speedup per size-5 pattern",
-		Header: []string{"pattern#", "edges", "no-PLR", "PLR", "speedup"},
+		Header: []string{"pattern#", "edges", "no-PLR", "PLR", "speedup", "no-PLR ops", "PLR ops"},
 	}
 	dataset := "wk"
 	if cfg.Quick {
@@ -260,8 +265,8 @@ func Fig15(cfg Config) *Table {
 		if err != nil {
 			continue
 		}
-		dWithout, to1, err1 := runPlanBudget(g, without.Plan, cfg.Threads, cfg.Budget)
-		dWith, to2, err2 := runPlanBudget(g, with.Plan, cfg.Threads, cfg.Budget)
+		dWithout, opsWithout, to1, err1 := runPlanBudget(g, without.Plan, cfg.Threads, cfg.Budget)
+		dWith, opsWith, to2, err2 := runPlanBudget(g, with.Plan, cfg.Threads, cfg.Budget)
 		sp := "-"
 		if err1 == nil && err2 == nil && !to1 && !to2 && dWith > 0 {
 			sp = fmt.Sprintf("%.2fx", float64(dWithout)/float64(dWith))
@@ -269,6 +274,7 @@ func Fig15(cfg Config) *Table {
 		t.Rows = append(t.Rows, []string{
 			fmt.Sprintf("%d", idx), fmt.Sprintf("%d", p.NumEdges()),
 			FormatDuration(dWithout), FormatDuration(dWith), sp,
+			fmt.Sprintf("%d", opsWithout), fmt.Sprintf("%d", opsWith),
 		})
 	}
 	t.Notes = append(t.Notes, fmt.Sprintf("dataset %s; PLR candidates still compete with non-PLR under the cost model", dataset))
@@ -317,7 +323,7 @@ func Fig19(cfg Config) *Table {
 				if i >= limit {
 					break
 				}
-				d, canceled, err := runPlanBudget(g, cand.Plan, cfg.Threads, candBudget)
+				d, _, canceled, err := runPlanBudget(g, cand.Plan, cfg.Threads, candBudget)
 				if err == nil && !canceled && d < amOpt {
 					amOpt = d
 				}
@@ -336,7 +342,7 @@ func Fig19(cfg Config) *Table {
 				row = append(row, "ERR")
 				continue
 			}
-			d, canceled, err := runPlanBudget(g, best.Plan, cfg.Threads, cfg.Budget)
+			d, _, canceled, err := runPlanBudget(g, best.Plan, cfg.Threads, cfg.Budget)
 			switch {
 			case err != nil:
 				row = append(row, "ERR")

@@ -215,6 +215,22 @@ func TrimAbove(dst, a Set, bound uint32) Set {
 	return append(dst, a[:i]...)
 }
 
+// SliceAbove returns the suffix of a with elements strictly greater than
+// bound, as a zero-copy subslice of a.
+func SliceAbove(a Set, bound uint32) Set {
+	i := lowerBound(a, bound)
+	if i < len(a) && a[i] == bound {
+		i++
+	}
+	return a[i:]
+}
+
+// SliceBelow returns the prefix of a with elements strictly smaller than
+// bound, as a zero-copy subslice of a.
+func SliceBelow(a Set, bound uint32) Set {
+	return a[:lowerBound(a, bound)]
+}
+
 // CountBelow returns |{x ∈ a : x < bound}|.
 func CountBelow(a Set, bound uint32) int64 {
 	return int64(lowerBound(a, bound))

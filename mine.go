@@ -61,8 +61,10 @@ func (s *System) processPartialEmbeddings(p *Pattern, newUDF func(worker int) UD
 		defer timer.Stop()
 	}
 	res, err := engine.Run(s.graph.g, plan.Prog, engine.Options{
-		Threads: s.opts.Threads,
-		Cancel:  cancel,
+		Threads:     s.opts.Threads,
+		Cancel:      cancel,
+		Interpreter: s.engineInterp(),
+		Code:        s.planCode(plan),
 		NewConsumer: func(worker int) engine.Consumer {
 			udf := newUDF(worker)
 			// One reusable PartialEmbedding per subpattern per worker.
@@ -86,6 +88,7 @@ func (s *System) processPartialEmbeddings(p *Pattern, newUDF func(worker int) UD
 	if err != nil {
 		return false, err
 	}
+	s.noteExecStats(res)
 	return res.Canceled, nil
 }
 
@@ -103,12 +106,17 @@ func (s *System) emitPlan(p *pattern.Pattern) (*core.Plan, []subInfo, error) {
 	if e, ok := s.planCache[key]; ok {
 		info := s.emitInfo[key]
 		s.mu.Unlock()
-		return e.plan, info, nil
+		return e.plan, info, e.err
 	}
 	s.mu.Unlock()
 
 	best, _, err := core.Search(p, s.searchOptions(core.ModeEmit, false))
 	if err != nil {
+		// Negative caching: a pattern with no emission plan keeps failing
+		// identically, so remember the failure instead of re-searching.
+		s.mu.Lock()
+		s.planCache[key] = &planEntry{err: err}
+		s.mu.Unlock()
 		return nil, nil, err
 	}
 	var info []subInfo
@@ -168,8 +176,9 @@ func (s *System) Materialize(p *Pattern, pe *PartialEmbedding, num int) ([][]uin
 	}
 	var out [][]uint32
 	_, err = engine.Run(s.graph.g, plan.Prog, engine.Options{
-		Threads: 1,
-		Pins:    pins,
+		Threads:     1,
+		Pins:        pins,
+		Interpreter: s.engineInterp(),
 		NewConsumer: func(worker int) engine.Consumer {
 			return engine.ConsumerFunc(func(sub int, verts []uint32, count int64) bool {
 				out = append(out, append([]uint32(nil), verts...))

@@ -103,10 +103,15 @@ func (s *System) CountAll(patterns []*Pattern) ([]int64, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := engine.Run(s.graph.g, merged.Prog, engine.Options{Threads: s.opts.Threads})
+	runOpts := engine.Options{Threads: s.opts.Threads, Interpreter: s.engineInterp()}
+	if runOpts.Interpreter == engine.InterpVM {
+		runOpts.Code = merged.Lowered()
+	}
+	res, err := engine.Run(s.graph.g, merged.Prog, runOpts)
 	if err != nil {
 		return nil, err
 	}
+	s.noteExecStats(res)
 	out := make([]int64, len(patterns))
 	for i := range patterns {
 		out[i] = res.Globals[merged.CountGlobals[i]] / merged.Divisors[i]

@@ -1,0 +1,184 @@
+package decomine
+
+// Differential tests between the two execution engines: every pattern in
+// the seed suite must produce identical counts on the bytecode VM and
+// the tree-walking interpreter, over both G(n,p) and R-MAT graphs,
+// including labeled and constrained variants and cancellation mid-run.
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"decomine/internal/pattern"
+)
+
+// vmTreePair builds two Systems over g differing only in interpreter.
+func vmTreePair(g *Graph, threads int) (vmSys, treeSys *System) {
+	base := Options{Threads: threads, CostModel: CostLocality}
+	vmOpts := base
+	vmOpts.Interpreter = InterpreterVM
+	treeOpts := base
+	treeOpts.Interpreter = InterpreterTree
+	return NewSystem(g, vmOpts), NewSystem(g, treeOpts)
+}
+
+func TestVMDifferentialMotifSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential tests are slow")
+	}
+	cases := []struct {
+		name string
+		g    *Graph
+		maxK int
+	}{
+		{"gnp", GenerateGNP(70, 0.10, 1234), 5},
+		{"rmat", GenerateRMAT(8, 6, 5678), 4},
+	}
+	for _, gc := range cases {
+		vmSys, treeSys := vmTreePair(gc.g, 3)
+		for k := 3; k <= gc.maxK; k++ {
+			for i, p := range pattern.ConnectedPatterns(k) {
+				pp := &Pattern{p}
+				got, err := vmSys.GetPatternCount(pp)
+				if err != nil {
+					t.Fatalf("%s k=%d #%d vm: %v", gc.name, k, i, err)
+				}
+				want, err := treeSys.GetPatternCount(pp)
+				if err != nil {
+					t.Fatalf("%s k=%d #%d tree: %v", gc.name, k, i, err)
+				}
+				if got != want {
+					t.Errorf("%s k=%d pattern #%d (%s): vm %d, tree %d",
+						gc.name, k, i, p, got, want)
+				}
+			}
+		}
+		if st := vmSys.LastExecStats(); st.Instructions == 0 {
+			t.Errorf("%s: VM system reported no executed instructions", gc.name)
+		}
+		if st := treeSys.LastExecStats(); st.Instructions != 0 {
+			t.Errorf("%s: tree system reported instruction counts %d", gc.name, st.Instructions)
+		}
+	}
+}
+
+// sixVertexPatterns returns the 6-vertex motifs used by the suite: the
+// path, the cycle, and a triangle with a 3-vertex tail.
+func sixVertexPatterns() []*pattern.Pattern {
+	path := pattern.New(6)
+	for v := 0; v < 5; v++ {
+		path.AddEdge(v, v+1)
+	}
+	cycle := pattern.New(6)
+	for v := 0; v < 6; v++ {
+		cycle.AddEdge(v, (v+1)%6)
+	}
+	tadpole := pattern.New(6)
+	tadpole.AddEdge(0, 1)
+	tadpole.AddEdge(1, 2)
+	tadpole.AddEdge(2, 0)
+	tadpole.AddEdge(2, 3)
+	tadpole.AddEdge(3, 4)
+	tadpole.AddEdge(4, 5)
+	return []*pattern.Pattern{path, cycle, tadpole}
+}
+
+func TestVMDifferentialSixVertexMotifs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential tests are slow")
+	}
+	g := GenerateGNP(55, 0.09, 97531)
+	vmSys, treeSys := vmTreePair(g, 2)
+	for i, p := range sixVertexPatterns() {
+		pp := &Pattern{p}
+		got, err := vmSys.GetPatternCount(pp)
+		if err != nil {
+			t.Fatalf("6-vertex #%d vm: %v", i, err)
+		}
+		want, err := treeSys.GetPatternCount(pp)
+		if err != nil {
+			t.Fatalf("6-vertex #%d tree: %v", i, err)
+		}
+		if got != want {
+			t.Errorf("6-vertex pattern #%d (%s): vm %d, tree %d", i, p, got, want)
+		}
+	}
+}
+
+func TestVMDifferentialLabeledAndConstrained(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential tests are slow")
+	}
+	r := rand.New(rand.NewSource(8642))
+	g := GenerateGNP(50, 0.12, 13579).WithRandomLabels(3, 24680)
+	vmSys, treeSys := vmTreePair(g, 2)
+
+	// Labeled patterns: random subset of vertices pinned to labels.
+	for trial := 0; trial < 6; trial++ {
+		p := randomConnectedPattern(r, 3+r.Intn(3))
+		for v := 0; v < p.NumVertices(); v++ {
+			if r.Intn(2) == 0 {
+				p.SetLabel(v, uint32(r.Intn(3)))
+			}
+		}
+		pp := &Pattern{p}
+		got, err := vmSys.GetPatternCount(pp)
+		if err != nil {
+			t.Fatalf("labeled trial %d vm: %v", trial, err)
+		}
+		want, err := treeSys.GetPatternCount(pp)
+		if err != nil {
+			t.Fatalf("labeled trial %d tree: %v", trial, err)
+		}
+		if got != want {
+			t.Errorf("labeled trial %d (%s): vm %d, tree %d", trial, p, got, want)
+		}
+	}
+
+	// Group label constraints (hash-table plans).
+	p, err := PatternByName("fig6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons := []LabelConstraint{
+		{Kind: AllDifferentLabels, Vertices: []int{0, 1, 2}},
+		{Kind: AllSameLabel, Vertices: []int{1, 3, 4}},
+	}
+	got, err := vmSys.CountWithConstraints(p, cons)
+	if err != nil {
+		t.Fatalf("constrained vm: %v", err)
+	}
+	want, err := treeSys.CountWithConstraints(p, cons)
+	if err != nil {
+		t.Fatalf("constrained tree: %v", err)
+	}
+	if got != want {
+		t.Errorf("constrained fig6: vm %d, tree %d", got, want)
+	}
+}
+
+func TestVMDifferentialCancellationMidRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential tests are slow")
+	}
+	// A run far too large for a 1ms budget (the full run takes seconds
+	// single-threaded) but with short cancellation-check chunks: both
+	// engines must observe the cancellation mid-run and report a timeout
+	// rather than hanging or returning a bogus full count.
+	g := GenerateRMAT(10, 8, 2468)
+	cycle5 := pattern.New(5)
+	for v := 0; v < 5; v++ {
+		cycle5.AddEdge(v, (v+1)%5)
+	}
+	vmSys, treeSys := vmTreePair(g, 1)
+	for name, sys := range map[string]*System{"vm": vmSys, "tree": treeSys} {
+		_, timedOut, err := sys.GetPatternCountWithin(&Pattern{cycle5}, time.Millisecond)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !timedOut {
+			t.Errorf("%s: 1ms budget on 5-cycle over %s did not time out", name, g)
+		}
+	}
+}
