@@ -22,6 +22,16 @@ import (
 	"decomine/internal/sampling"
 )
 
+// skipLong marks the handful of paper-table benchmarks whose single
+// iteration runs for minutes; CI's bench smoke passes -short and gets
+// everything else at -benchtime=1x.
+func skipLong(b *testing.B) {
+	b.Helper()
+	if testing.Short() {
+		b.Skip("multi-minute paper-table benchmark; skipped in -short bench smoke")
+	}
+}
+
 func benchSystem(b *testing.B, dataset string, opts Options) *System {
 	b.Helper()
 	g, err := Dataset(dataset)
@@ -62,6 +72,7 @@ func BenchmarkFig1_NoDecomp4Motif_ee(b *testing.B) {
 }
 
 func BenchmarkFig1_DecoMine6Cycle_ee(b *testing.B) {
+	skipLong(b)
 	s := benchSystem(b, "ee", Options{})
 	warm(b, func() error { _, err := s.CycleCount(6); return err })
 	for i := 0; i < b.N; i++ {
@@ -189,6 +200,7 @@ func BenchmarkTable6_DecoMine3Motif_lj(b *testing.B) {
 // --- Table 7: large patterns ---
 
 func BenchmarkTable7_DecoMine7Cycle_ee(b *testing.B) {
+	skipLong(b)
 	s := benchSystem(b, "ee", Options{})
 	warm(b, func() error { _, err := s.CycleCount(7); return err })
 	for i := 0; i < b.N; i++ {
@@ -199,6 +211,7 @@ func BenchmarkTable7_DecoMine7Cycle_ee(b *testing.B) {
 }
 
 func BenchmarkTable7_PatternAware6Cycle_ee(b *testing.B) {
+	skipLong(b)
 	s := benchSystem(b, "ee", Options{DisableDecomposition: true, CostModel: CostLocality})
 	warm(b, func() error { _, err := s.CycleCount(6); return err })
 	for i := 0; i < b.N; i++ {
@@ -524,3 +537,53 @@ func BenchmarkReuse_Separate4Motifs_ee(b *testing.B) {
 		}
 	}
 }
+
+// --- scheduler load balance: steal vs chunk driver on a skewed R-MAT ---
+
+// benchStealBalance runs a 5-vertex motif count on a power-law R-MAT
+// graph and reports the worst max/mean WorkPerThread imbalance observed
+// (per-worker executed instructions). The work-stealing driver should
+// hold this near 1.0; the legacy chunk driver strands hub-vertex
+// subtrees on single workers and lands far higher.
+func benchStealBalance(b *testing.B, sched engine.Sched) {
+	b.Helper()
+	g := graph.RMATParams(11, 8, 0.7, 0.1, 0.1, 777)
+	st := cost.StatsOf(g)
+	best, _, err := core.Search(pattern.House(), core.SearchOptions{
+		Model: cost.NewLocality(st, 0.25), Mode: core.ModeCount,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	code := best.Plan.Lowered()
+	const threads = 4
+	opts := engine.Options{Threads: threads, Code: code, Sched: sched}
+	if sched == engine.SchedSteal {
+		pool := engine.NewPool(threads)
+		defer pool.Close()
+		opts.Pool = pool
+		opts.Prepared = engine.Prepare(g, code)
+	}
+	var worst float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := engine.Run(g, best.Plan.Prog, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var total, max int64
+		for _, w := range res.WorkPerThread {
+			total += w
+			if w > max {
+				max = w
+			}
+		}
+		if imb := float64(max) * threads / float64(total); imb > worst {
+			worst = imb
+		}
+	}
+	b.ReportMetric(worst, "max/mean-work")
+}
+
+func BenchmarkSteal_RMAT_5Motif(b *testing.B) { benchStealBalance(b, engine.SchedSteal) }
+func BenchmarkChunk_RMAT_5Motif(b *testing.B) { benchStealBalance(b, engine.SchedChunk) }

@@ -24,12 +24,9 @@ func (s *System) runBudget(plan *core.Plan, budget time.Duration) (int64, bool, 
 		timer = time.AfterFunc(budget, func() { cancel.Store(true) })
 		defer timer.Stop()
 	}
-	res, err := engine.Run(s.graph.g, plan.Prog, engine.Options{
-		Threads:     s.opts.Threads,
-		Cancel:      cancel,
-		Interpreter: s.engineInterp(),
-		Code:        s.planCode(plan),
-	})
+	opts := s.execOptions(plan)
+	opts.Cancel = cancel
+	res, err := engine.Run(s.graph.g, plan.Prog, opts)
 	if err != nil {
 		return 0, false, err
 	}
@@ -175,19 +172,16 @@ func (s *System) FSMWithin(minSupport int64, maxEdges int, budget time.Duration)
 	return s.fsm(minSupport, maxEdges, budget)
 }
 
-// WorkDistribution executes p's plan and returns the number of
-// outer-loop iterations each worker performed — the load-balance signal
-// behind the scalability experiment (Figure 16).
+// WorkDistribution executes p's plan and returns the work each worker
+// performed — bytecode instructions under the VM, outer-loop iterations
+// under the tree-walker — the load-balance signal behind the
+// scalability experiment (Figure 16).
 func (s *System) WorkDistribution(p *Pattern) ([]int64, error) {
 	plan, err := s.plan(p.p, core.ModeCount, false)
 	if err != nil {
 		return nil, err
 	}
-	res, err := engine.Run(s.graph.g, plan.Prog, engine.Options{
-		Threads:     s.opts.Threads,
-		Interpreter: s.engineInterp(),
-		Code:        s.planCode(plan),
-	})
+	res, err := engine.Run(s.graph.g, plan.Prog, s.execOptions(plan))
 	if err != nil {
 		return nil, err
 	}

@@ -2,6 +2,7 @@ package decomine
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"time"
 
@@ -74,7 +75,10 @@ type Options struct {
 }
 
 // System binds a graph to compilation options and caches compiled plans
-// and the profiling table.
+// and the profiling table. A System is safe for concurrent use: the plan
+// cache is shared, and parallel plan executions from any number of
+// goroutines share one persistent worker pool. Call Close when done with
+// a System to stop the pool's worker goroutines.
 type System struct {
 	graph *Graph
 	opts  Options
@@ -85,6 +89,15 @@ type System struct {
 	planCache map[planKey]*planEntry
 	emitInfo  map[planKey][]subInfo
 
+	// pool is the persistent work-stealing worker pool shared by every
+	// plan execution this System starts; built lazily on the first
+	// parallel run, drained by Close.
+	pool       *engine.Pool
+	poolClosed bool
+	// prepCache maps a plan's lowered bytecode to its reusable execution
+	// state (arena plan, split analysis, recycled register frames).
+	prepCache map[*ast.Lowered]*engine.Prepared
+
 	// ProfileTime records how long the one-off approximate-mining
 	// profiling took (paper §6.3 reports it separately).
 	ProfileTime time.Duration
@@ -93,6 +106,8 @@ type System struct {
 	LastCompileTime time.Duration
 
 	lastOpCounts []int64
+	lastSteals   int64
+	lastSplits   int64
 }
 
 type planKey struct {
@@ -122,6 +137,73 @@ func NewSystem(g *Graph, opts Options) *System {
 
 // Graph returns the bound input graph.
 func (s *System) Graph() *Graph { return s.graph }
+
+// Close stops the System's persistent worker pool (if one was started),
+// blocking until in-flight work drains. It is idempotent; runs started
+// after Close still work but fall back to per-run worker goroutines.
+func (s *System) Close() {
+	s.mu.Lock()
+	pool := s.pool
+	s.pool = nil
+	s.poolClosed = true
+	s.mu.Unlock()
+	if pool != nil {
+		pool.Close()
+	}
+}
+
+// enginePool returns the shared worker pool, starting it on first use.
+// Sequential configurations (Threads == 1) and the tree-walking
+// interpreter never start a pool.
+func (s *System) enginePool() *engine.Pool {
+	n := s.opts.Threads
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n == 1 || s.opts.Interpreter == InterpreterTree {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.pool == nil && !s.poolClosed {
+		s.pool = engine.NewPool(n)
+	}
+	return s.pool
+}
+
+// prepared returns (building and caching on first use) the reusable
+// execution state for a plan's bytecode, so repeated runs of a cached
+// plan skip arena planning and recycle worker register frames.
+func (s *System) prepared(code *ast.Lowered) *engine.Prepared {
+	if code == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.prepCache == nil {
+		s.prepCache = map[*ast.Lowered]*engine.Prepared{}
+	}
+	p, ok := s.prepCache[code]
+	if !ok {
+		p = engine.Prepare(s.graph.g, code)
+		s.prepCache[code] = p
+	}
+	return p
+}
+
+// execOptions assembles the engine options every plan execution shares:
+// thread count, interpreter, cached bytecode, the persistent pool and
+// the per-plan prepared state.
+func (s *System) execOptions(plan *core.Plan) engine.Options {
+	code := s.planCode(plan)
+	return engine.Options{
+		Threads:     s.opts.Threads,
+		Interpreter: s.engineInterp(),
+		Code:        code,
+		Pool:        s.enginePool(),
+		Prepared:    s.prepared(code),
+	}
+}
 
 // Model returns (building lazily) the configured cost model. The
 // approximate-mining model triggers one-off edge-sampling profiling.
@@ -226,6 +308,8 @@ func (s *System) planCode(plan *core.Plan) *ast.Lowered {
 func (s *System) noteExecStats(res *engine.Result) {
 	s.mu.Lock()
 	s.lastOpCounts = res.OpCounts
+	s.lastSteals = res.Steals
+	s.lastSplits = res.Splits
 	s.mu.Unlock()
 }
 
@@ -236,6 +320,12 @@ type ExecStats struct {
 	// PerOp maps opcode mnemonics (e.g. "set", "loop.next") to execution
 	// counts; zero-count opcodes are omitted.
 	PerOp map[string]int64
+	// Steals counts loop ranges taken from another worker's deque by the
+	// work-stealing scheduler, and Splits counts depth-1 subranges shed
+	// by workers executing heavy outer iterations. Zero for sequential
+	// runs and under the tree-walker.
+	Steals int64
+	Splits int64
 }
 
 // LastExecStats returns the per-opcode execution counters of the most
@@ -251,16 +341,15 @@ func (s *System) LastExecStats() ExecStats {
 			st.Instructions += c
 		}
 	}
+	st.Steals = s.lastSteals
+	st.Splits = s.lastSplits
 	return st
 }
 
 func (s *System) run(plan *core.Plan, newConsumer func(worker int) engine.Consumer) (int64, error) {
-	res, err := engine.Run(s.graph.g, plan.Prog, engine.Options{
-		Threads:     s.opts.Threads,
-		NewConsumer: newConsumer,
-		Interpreter: s.engineInterp(),
-		Code:        s.planCode(plan),
-	})
+	opts := s.execOptions(plan)
+	opts.NewConsumer = newConsumer
+	res, err := engine.Run(s.graph.g, plan.Prog, opts)
 	if err != nil {
 		return 0, err
 	}

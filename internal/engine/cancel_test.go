@@ -90,18 +90,32 @@ func TestRunDeterministicAcrossThreadCounts(t *testing.T) {
 	}
 }
 
-func TestWorkAccountingSumsToOuterLoop(t *testing.T) {
+func TestWorkAccountingSumsToInstructions(t *testing.T) {
 	g := graph.GNP(500, 0.02, 5)
 	prog := buildTriangleProgram()
 	res, err := Run(g, prog, Options{Threads: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
+	// WorkPerThread is per-worker executed instructions under the VM;
+	// the per-worker attribution must sum to the merged OpCounts total.
 	var total int64
 	for _, w := range res.WorkPerThread {
 		total += w
 	}
+	if total != res.InstructionsExecuted() {
+		t.Fatalf("work %d != %d instructions", total, res.InstructionsExecuted())
+	}
+	// The tree-walker keeps the old meaning: outer-loop iterations.
+	tres, err := Run(g, prog, Options{Threads: 4, Interpreter: InterpTree})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total = 0
+	for _, w := range tres.WorkPerThread {
+		total += w
+	}
 	if total != int64(g.NumVertices()) {
-		t.Fatalf("work %d != |V| %d", total, g.NumVertices())
+		t.Fatalf("tree work %d != |V| %d", total, g.NumVertices())
 	}
 }

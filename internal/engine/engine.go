@@ -42,19 +42,39 @@ const (
 	InterpTree
 )
 
+// Sched selects the parallel execution driver.
+type Sched uint8
+
+const (
+	// SchedSteal (default) runs loop segments on a persistent
+	// work-stealing pool: idle workers steal half of a victim's
+	// remaining outer range, and heavy outer iterations shed stealable
+	// subranges of their depth-1 loop (paper §7.4's fine-grained work
+	// stealing).
+	SchedSteal Sched = iota
+	// SchedChunk is the legacy per-run fork-join driver that
+	// self-schedules fixed-size chunks of the outermost loop only; kept
+	// for load-balance comparison benchmarks.
+	SchedChunk
+)
+
 // Options configures a run.
 type Options struct {
-	// Threads is the number of workers; 0 means GOMAXPROCS.
+	// Threads is the number of workers; 0 means GOMAXPROCS. When Pool is
+	// set (and Threads != 1) the pool's size wins.
 	Threads int
 	// NewConsumer creates one Consumer per worker. Nil when the program
-	// has no KEmit nodes.
+	// has no KEmit nodes. It is always invoked from the submitting
+	// goroutine (never concurrently), once per worker slot.
 	NewConsumer func(worker int) Consumer
 	// Pins preloads vertex variables [0, len(Pins)); required when the
 	// program was built with pinned variables.
 	Pins []uint32
-	// Cancel, when non-nil and set, aborts the run at the next
-	// outer-loop chunk boundary; the Result reports Canceled=true. Used
-	// by the experiment harness to enforce per-cell time budgets.
+	// Cancel, when non-nil and set, aborts the run; cancellation is
+	// observed at steal points, outer-loop chunk boundaries, and — under
+	// the VM — inside the dispatch loop every cancelCheckInterval
+	// instructions, so even one huge iteration cannot overrun a budget
+	// by much. The Result reports Canceled=true.
 	Cancel *atomic.Bool
 	// Interpreter selects the execution engine (bytecode VM by default).
 	Interpreter Interp
@@ -63,13 +83,26 @@ type Options struct {
 	// ignored when it was lowered from a different Program or when the
 	// tree-walker is selected.
 	Code *ast.Lowered
+	// Pool, when non-nil, executes the run on a persistent worker pool
+	// shared across runs (and across concurrently submitting
+	// goroutines) instead of spawning per-run goroutines. Ignored when
+	// Threads == 1 or Sched == SchedChunk.
+	Pool *Pool
+	// Prepared optionally supplies reusable per-program state (arena
+	// plan, split analysis, recycled frames) built by Prepare. Ignored
+	// when it does not match the graph and bytecode of this run.
+	Prepared *Prepared
+	// Sched selects the parallel driver (SchedSteal by default).
+	Sched Sched
 }
 
 // Result carries the merged global accumulators and execution metadata.
 type Result struct {
 	Globals []int64
-	// WorkPerThread counts outer-loop iterations each worker executed,
-	// used by the scalability experiment to report load balance.
+	// WorkPerThread reports the work each worker executed: bytecode
+	// instructions under the VM, outer-loop iterations under the
+	// tree-walker. The scalability experiment uses max/mean of this
+	// slice as its load-balance signal.
 	WorkPerThread []int64
 	// Canceled reports that Options.Cancel aborted the run; Globals are
 	// then partial.
@@ -77,6 +110,12 @@ type Result struct {
 	// OpCounts[op] counts executed bytecode instructions per ast.OpCode,
 	// merged across workers. Nil under the tree-walking interpreter.
 	OpCounts []int64
+	// Steals counts loop ranges taken from another worker's deque, and
+	// Splits counts depth-1 subranges shed as stealable tasks by
+	// workers executing heavy outer iterations. Both are zero under
+	// SchedChunk and sequential runs.
+	Steals int64
+	Splits int64
 }
 
 // InstructionsExecuted sums OpCounts; 0 under the tree-walker.
@@ -104,12 +143,41 @@ type runner interface {
 	// slice; false means a consumer stopped the run.
 	execChunk(i int, elems []uint32) bool
 	fork() runner
+	// forkWorker returns a worker frame for the persistent pool,
+	// recycled across runs when the interpreter supports it; retire
+	// returns such a frame (or the master itself) to the recycle pool,
+	// and syncFrom re-copies the master's root-level register state into
+	// a worker at a segment boundary.
+	forkWorker() runner
+	retire(w runner)
+	syncFrom(m runner)
 	setConsumer(c Consumer)
+	// setCancel arms in-flight cancellation polling; canceled
+	// distinguishes an exec aborted by Options.Cancel from a consumer
+	// stop.
+	setCancel(c *atomic.Bool)
+	canceled() bool
+	// instrCount reports bytecode instructions this frame executed
+	// (always 0 for the tree-walker).
+	instrCount() int64
 	// mergeFrom folds a worker's accumulators into this (master) frame.
 	mergeFrom(w runner)
 	// finish publishes the master frame's accumulators into res.
 	finish(res *Result)
 }
+
+// Legacy chunk-driver granularity (SchedChunk). Aiming for roughly
+// chunksPerThread chunks per worker keeps self-scheduling overhead (one
+// atomic add per chunk) negligible, but on small-but-skewed outer loops
+// the quotient degenerates into a handful of huge chunks whose heaviest
+// vertex dominates the run, so chunk size is additionally capped at
+// maxChunk: smaller chunks mean more scheduling operations, larger
+// chunks mean a single hub vertex can strand its whole chunk on one
+// worker.
+const (
+	chunksPerThread = 16
+	maxChunk        = 256
+)
 
 // Run executes a program against g and returns the merged globals.
 func Run(g *graph.Graph, prog *ast.Program, opts Options) (*Result, error) {
@@ -122,6 +190,27 @@ func Run(g *graph.Graph, prog *ast.Program, opts Options) (*Result, error) {
 	threads := opts.Threads
 	if threads <= 0 {
 		threads = runtime.GOMAXPROCS(0)
+	}
+	useVM := opts.Interpreter != InterpTree
+	sched := opts.Sched
+	if !useVM {
+		// The tree-walker is a differential-testing baseline and is not
+		// routed through the steal pool: it runs sequentially or under
+		// the legacy chunk driver only.
+		sched = SchedChunk
+	}
+	var pool *Pool
+	if threads > 1 && sched == SchedSteal {
+		if opts.Pool != nil {
+			pool = opts.Pool
+			threads = pool.size
+		} else {
+			// Correctness fallback for callers that did not wire a
+			// persistent pool; pays per-run goroutine spawn like the old
+			// driver did.
+			pool = NewPool(threads)
+			defer pool.Close()
+		}
 	}
 	needsConsumer := false
 	ast.Walk(prog.Root, func(n *ast.Node) {
@@ -136,15 +225,20 @@ func Run(g *graph.Graph, prog *ast.Program, opts Options) (*Result, error) {
 	// The master frame executes root-level statements; each top-level
 	// loop is run by the parallel driver.
 	var master runner
-	switch opts.Interpreter {
-	case InterpTree:
-		master = newFrame(g, prog, nil)
-	default:
-		bc := opts.Code
-		if bc == nil || bc.Prog != prog {
-			bc = ast.Lower(prog)
+	if useVM {
+		var sh *vmShared
+		if opts.Prepared.matches(g, prog) {
+			sh = opts.Prepared.sh
+		} else {
+			bc := opts.Code
+			if bc == nil || bc.Prog != prog {
+				bc = ast.Lower(prog)
+			}
+			sh = newVMShared(g, bc)
 		}
-		master = newVMFrame(newVMShared(g, bc), nil)
+		master = sh.getFrame()
+	} else {
+		master = newFrame(g, prog, nil)
 	}
 	master.pin(opts.Pins)
 	res := &Result{
@@ -153,7 +247,8 @@ func Run(g *graph.Graph, prog *ast.Program, opts Options) (*Result, error) {
 	}
 
 	// One consumer per worker index, shared across top-level loops so
-	// stateful consumers (FSM domains) see the whole run.
+	// stateful consumers (FSM domains) see the whole run. Consumers are
+	// only ever created here, on the submitting goroutine.
 	consumers := make([]Consumer, threads)
 	getConsumer := func(t int) Consumer {
 		if consumers[t] == nil && opts.NewConsumer != nil {
@@ -163,7 +258,12 @@ func Run(g *graph.Graph, prog *ast.Program, opts Options) (*Result, error) {
 	}
 
 	master.setConsumer(getConsumer(0))
+	master.setCancel(opts.Cancel)
 	stopped := false
+	// mergedInstr tracks worker instructions already folded into the
+	// master's op counters, so the master's own share can be attributed
+	// to worker slot 0 at the end.
+	var mergedInstr int64
 	for i := 0; i < master.numTop() && !stopped; i++ {
 		over, isLoop := master.topLoop(i)
 		if !isLoop {
@@ -172,12 +272,16 @@ func Run(g *graph.Graph, prog *ast.Program, opts Options) (*Result, error) {
 			// run here too.
 			if !master.execTop(i) {
 				stopped = true
+				if master.canceled() {
+					res.Canceled = true
+				}
 			}
 			continue
 		}
 		if threads == 1 || len(over) < 2 {
 			// Sequential fast path (also used by bounded materialization),
-			// chunked so cancellation is observed.
+			// chunked so cancellation is observed even between the VM's
+			// amortized in-flight polls.
 			const seqChunk = 64
 			for start := 0; start < len(over); start += seqChunk {
 				if opts.Cancel != nil && opts.Cancel.Load() {
@@ -191,17 +295,47 @@ func Run(g *graph.Graph, prog *ast.Program, opts Options) (*Result, error) {
 				}
 				if !master.execChunk(i, over[start:end]) {
 					stopped = true
+					if master.canceled() {
+						res.Canceled = true
+					}
 					break
 				}
-				res.WorkPerThread[0] += int64(end - start)
+				if !useVM {
+					res.WorkPerThread[0] += int64(end - start)
+				}
 			}
 			continue
 		}
-		// Parallel driver: dynamic self-scheduling over chunks of the
-		// outer loop — idle threads grab statically unowned iterations,
-		// the engine's analogue of the paper's fine-grained work
-		// stealing (§7.4).
-		chunk := len(over) / (threads * 16)
+		if pool != nil {
+			// Work-stealing driver: the whole outer range is submitted as
+			// one task; idle workers steal half of a victim's remainder,
+			// and heavy outer iterations shed depth-1 subranges (§7.4).
+			j := newJob(master.(*vmFrame), i, over, opts.Cancel, pool.size, getConsumer)
+			pool.runJob(j)
+			res.Steals += j.steals.Load()
+			res.Splits += j.splits.Load()
+			for t, wf := range j.frames {
+				wc := wf.instrCount()
+				res.WorkPerThread[t] += wc
+				mergedInstr += wc
+				master.mergeFrom(wf)
+				master.retire(wf)
+			}
+			switch j.stop.Load() {
+			case stopConsumer:
+				stopped = true
+			case stopCanceled:
+				stopped = true
+				res.Canceled = true
+			}
+			continue
+		}
+		// Legacy fork-join driver (SchedChunk): per-run goroutines
+		// self-schedule fixed-size chunks of the outermost loop only.
+		chunk := len(over) / (threads * chunksPerThread)
+		if chunk > maxChunk {
+			chunk = maxChunk
+		}
 		if chunk < 1 {
 			chunk = 1
 		}
@@ -213,6 +347,7 @@ func Run(g *graph.Graph, prog *ast.Program, opts Options) (*Result, error) {
 			wg.Add(1)
 			w := master.fork()
 			w.setConsumer(getConsumer(t))
+			w.setCancel(opts.Cancel)
 			workers[t] = w
 			go func(t int, w runner) {
 				defer wg.Done()
@@ -229,9 +364,15 @@ func Run(g *graph.Graph, prog *ast.Program, opts Options) (*Result, error) {
 					if end > len(over) {
 						end = len(over)
 					}
-					res.WorkPerThread[t] += int64(end - start)
+					if !useVM {
+						res.WorkPerThread[t] += int64(end - start)
+					}
 					if !w.execChunk(i, over[start:end]) {
-						atomic.StoreInt64(&stopFlag, 1)
+						if w.canceled() {
+							atomic.StoreInt64(&stopFlag, 2)
+						} else {
+							atomic.StoreInt64(&stopFlag, 1)
+						}
 						atomic.StoreInt64(&next, int64(len(over))) // drain
 						return
 					}
@@ -247,11 +388,22 @@ func Run(g *graph.Graph, prog *ast.Program, opts Options) (*Result, error) {
 		}
 		// Privatized accumulators: merge per-worker globals under no
 		// contention (associative + commutative updates, §7.1).
-		for _, w := range workers {
+		for t, w := range workers {
+			if useVM {
+				wc := w.instrCount()
+				res.WorkPerThread[t] += wc
+				mergedInstr += wc
+			}
 			master.mergeFrom(w)
 		}
 	}
+	if useVM {
+		// Whatever the master executed itself (root statements, the
+		// sequential path) is worker 0's share.
+		res.WorkPerThread[0] += master.instrCount() - mergedInstr
+	}
 	master.finish(res)
+	master.retire(master)
 	return res, nil
 }
 
@@ -268,7 +420,18 @@ type frame struct {
 	keyBuf   []uint32
 	consumer Consumer
 	labelOf  func(uint32) uint32
+
+	// cancel is polled every treeCancelInterval loop iterations (at any
+	// depth); cancelHit records that a loop was aborted by it rather
+	// than by a consumer stop. checkCtr amortizes the atomic load.
+	cancel    *atomic.Bool
+	cancelHit bool
+	checkCtr  int
 }
+
+// treeCancelInterval bounds how many loop iterations the tree-walker
+// executes between Options.Cancel polls.
+const treeCancelInterval = 64
 
 func newFrame(g *graph.Graph, prog *ast.Program, parent *frame) *frame {
 	f := &frame{
@@ -323,7 +486,28 @@ func (f *frame) execChunk(i int, elems []uint32) bool {
 // fork creates a worker frame sharing the master's root-level set values.
 func (f *frame) fork() runner { return newFrame(f.g, f.prog, f) }
 
+// The tree-walker is never routed through the steal pool, but it still
+// satisfies the pool-facing runner methods so the driver code stays
+// interpreter-agnostic: forkWorker degenerates to fork, retire is a
+// no-op (frames are not recycled), and syncFrom mirrors the fork copy.
+func (f *frame) forkWorker() runner { return f.fork() }
+
+func (f *frame) retire(w runner) {}
+
+func (f *frame) syncFrom(m runner) {
+	mf := m.(*frame)
+	copy(f.vars, mf.vars)
+	copy(f.scalars, mf.scalars)
+	copy(f.sets, mf.sets)
+}
+
 func (f *frame) setConsumer(c Consumer) { f.consumer = c }
+
+func (f *frame) setCancel(c *atomic.Bool) { f.cancel = c }
+
+func (f *frame) canceled() bool { return f.cancelHit }
+
+func (f *frame) instrCount() int64 { return 0 }
 
 func (f *frame) mergeFrom(w runner) {
 	wf := w.(*frame)
@@ -338,6 +522,16 @@ func (f *frame) finish(res *Result) { copy(res.Globals, f.globals) }
 // returning false if a consumer requested early termination.
 func (f *frame) loopRange(n *ast.Node, over []uint32) bool {
 	for _, v := range over {
+		if f.cancel != nil {
+			f.checkCtr++
+			if f.checkCtr >= treeCancelInterval {
+				f.checkCtr = 0
+				if f.cancel.Load() {
+					f.cancelHit = true
+					return false
+				}
+			}
+		}
 		f.vars[n.Var] = v
 		for _, c := range n.Body {
 			if !f.execOK(c) {

@@ -10,15 +10,20 @@ package engine
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"decomine/internal/ast"
 	"decomine/internal/graph"
 	"decomine/internal/vset"
 )
 
-// vmShared is the per-Run immutable state shared by every worker frame:
-// the bytecode, the graph, the identity vertex slice backing OpAll
-// registers, and the arena capacity plan for the set buffers.
+// vmShared is the per-program immutable state shared by every worker
+// frame: the bytecode, the graph, the identity vertex slice backing
+// OpAll registers, the arena capacity plan for the set buffers, and the
+// per-segment depth-1 split analysis used by the work-stealing
+// scheduler. It is reusable across runs (see Prepare) and its framePool
+// recycles worker register files and arenas between runs.
 type vmShared struct {
 	g  *graph.Graph
 	bc *ast.Lowered
@@ -31,6 +36,98 @@ type vmShared struct {
 	bufCap []int
 	// arenaLen is the total arena length (sum of bufCap).
 	arenaLen int
+	// d1[i] describes the splittable depth-1 loop of segment i, if any.
+	d1 []d1Info
+	// framePool recycles worker frames (register files + arenas) across
+	// runs of this program, so repeated queries allocate nothing.
+	framePool sync.Pool
+}
+
+// d1Info is the per-segment depth-1 split analysis: a top-level loop
+// segment is splittable when its body is "prefix; single depth-1 loop"
+// with a pure prefix and no suffix, so an outer iteration can be
+// partitioned into independent subranges of the depth-1 candidate set.
+type d1Info struct {
+	begin int32 // pc of the depth-1 ILoopBegin
+	next  int32 // pc of the matching ILoopNext
+	ok    bool
+}
+
+// analyzeD1 decides, per top-level loop segment, whether the scheduler
+// may split an outer iteration at depth 1. The conditions guarantee that
+// executing the depth-1 loop body over a partition of the candidate set,
+// on frames that each re-execute the prefix, is equivalent to executing
+// it whole:
+//
+//   - the prefix (instructions between the outer binding and the depth-1
+//     ILoopBegin) contains only pure register definitions (ISetDef,
+//     IScalarDef, ICount, IScalarReset) — safe to re-execute per subrange;
+//   - the depth-1 loop is followed immediately by the outer ILoopNext
+//     (empty suffix), so nothing reads state accumulated across depth-1
+//     iterations after the loop;
+//   - every IScalarAccum in the body targets a scalar that is also reset
+//     within the body, and every hash op in the body uses a table that is
+//     cleared within the body, making each depth-1 iteration
+//     self-contained (no cross-iteration carry a partition could break).
+func analyzeD1(bc *ast.Lowered) []d1Info {
+	out := make([]d1Info, len(bc.Segments))
+	for si := range bc.Segments {
+		seg := &bc.Segments[si]
+		if !seg.Loop {
+			continue
+		}
+		pc := seg.Start + 1
+		pure := true
+		for pc < seg.End-1 && bc.Code[pc].Op != ast.ILoopBegin {
+			switch bc.Code[pc].Op {
+			case ast.ISetDef, ast.IScalarDef, ast.ICount, ast.IScalarReset:
+				pc++
+			default:
+				pure = false
+			}
+			if !pure {
+				break
+			}
+		}
+		if !pure || pc >= seg.End-1 || bc.Code[pc].Op != ast.ILoopBegin {
+			continue
+		}
+		begin := pc
+		after := bc.Code[begin].Off // first instruction past the loop
+		next := after - 1
+		if next <= begin || next >= seg.End ||
+			bc.Code[next].Op != ast.ILoopNext ||
+			bc.Code[next].LoopID != bc.Code[begin].LoopID {
+			continue
+		}
+		if after != seg.End-1 {
+			continue // non-empty suffix
+		}
+		resetIn := map[int32]bool{}
+		clearIn := map[int32]bool{}
+		for i := begin + 1; i < next; i++ {
+			switch bc.Code[i].Op {
+			case ast.IScalarReset:
+				resetIn[bc.Code[i].Dst] = true
+			case ast.IHashClear:
+				clearIn[bc.Code[i].A] = true
+			}
+		}
+		ok := true
+		for i := begin + 1; i < next && ok; i++ {
+			ins := &bc.Code[i]
+			switch ins.Op {
+			case ast.IScalarAccum:
+				ok = resetIn[ins.Dst]
+			case ast.IHashInc, ast.IHashGet:
+				ok = clearIn[ins.A]
+			}
+		}
+		if ok {
+			out[si] = d1Info{begin: begin, next: next, ok: true}
+		}
+	}
+	return out
 }
 
 func newVMShared(g *graph.Graph, bc *ast.Lowered) *vmShared {
@@ -77,7 +174,19 @@ func newVMShared(g *graph.Graph, bc *ast.Lowered) *vmShared {
 			sh.allVerts[i] = uint32(i)
 		}
 	}
+	sh.d1 = analyzeD1(bc)
 	return sh
+}
+
+// getFrame returns a recycled worker frame (with accumulators zeroed)
+// or a fresh one.
+func (sh *vmShared) getFrame() *vmFrame {
+	if v := sh.framePool.Get(); v != nil {
+		f := v.(*vmFrame)
+		f.resetForJob()
+		return f
+	}
+	return newVMFrame(sh, nil)
 }
 
 // vmFrame is a per-worker register file plus loop iteration state. Set
@@ -101,7 +210,22 @@ type vmFrame struct {
 
 	// opCounts[op] counts executed instructions per opcode.
 	opCounts [ast.NumOpcodes]int64
+
+	// cancel, when non-nil, is polled by the dispatch loop every
+	// cancelCheckInterval instructions; cancelHit records that an
+	// in-flight exec was aborted by it (vs. a consumer stop).
+	cancel    *atomic.Bool
+	cancelHit bool
+	// stopFlag, when non-nil, is the owning job's stop word; execD1
+	// polls it between depth-1 iterations so a worker abandons a long
+	// split range once another worker stopped the run.
+	stopFlag *atomic.Int32
 }
+
+// cancelCheckInterval bounds how many instructions the VM executes
+// between Options.Cancel polls, so even a single huge iteration (a hub
+// vertex's subtree) overruns a budget by at most ~2^14 instructions.
+const cancelCheckInterval = 1 << 14
 
 func newVMFrame(sh *vmShared, parent *vmFrame) *vmFrame {
 	prog := sh.bc.Prog
@@ -120,7 +244,7 @@ func newVMFrame(sh *vmShared, parent *vmFrame) *vmFrame {
 	off := 0
 	for r, c := range sh.bufCap {
 		if c > 0 {
-			f.bufs[r] = arena[off:off : off+c]
+			f.bufs[r] = arena[off : off : off+c]
 			off += c
 		}
 	}
@@ -160,7 +284,16 @@ func (f *vmFrame) exec(start, end int32) bool {
 	iter := f.iter
 	cur := f.cur
 	counts := &f.opCounts
+	fuel := int32(cancelCheckInterval)
 	for pc := start; pc < end; {
+		fuel--
+		if fuel <= 0 {
+			fuel = cancelCheckInterval
+			if f.cancel != nil && f.cancel.Load() {
+				f.cancelHit = true
+				return false
+			}
+		}
 		ins := &code[pc]
 		counts[ins.Op]++
 		switch ins.Op {
@@ -249,37 +382,40 @@ func (f *vmFrame) exec(start, end int32) bool {
 			}
 			pc++
 		case ast.ICount:
-			// Fused counting: size of a windowed (and optionally
-			// intersected) set minus excluded members, with no set
-			// materialized. Bounds narrow the base as zero-copy
-			// subslices.
-			a := sets[ins.A]
-			if ins.V >= 0 {
-				a = vset.SliceAbove(a, vars[ins.V])
-			}
-			if ins.SA >= 0 {
-				a = vset.SliceBelow(a, vars[ins.SA])
-			}
-			var n int64
-			if ins.B >= 0 {
-				b := sets[ins.B]
-				n = vset.IntersectCount(a, b)
-				if ins.NKeys > 0 {
-					n -= f.exclCount(ins, a, b)
-				}
-			} else {
-				n = int64(len(a))
-				if ins.NKeys > 0 {
-					n -= f.exclCount(ins, a, nil)
-				}
-			}
-			scalars[ins.Dst] = n
+			scalars[ins.Dst] = f.execCount(ins)
 			pc++
 		default:
 			panic(fmt.Sprintf("engine: unknown opcode %d", ins.Op))
 		}
 	}
 	return true
+}
+
+// execCount evaluates a fused ICount: the size of a windowed (and
+// optionally intersected) set minus excluded members, with no set
+// materialized. Bounds narrow the base as zero-copy subslices.
+func (f *vmFrame) execCount(ins *ast.Instr) int64 {
+	a := f.sets[ins.A]
+	if ins.V >= 0 {
+		a = vset.SliceAbove(a, f.vars[ins.V])
+	}
+	if ins.SA >= 0 {
+		a = vset.SliceBelow(a, f.vars[ins.SA])
+	}
+	var n int64
+	if ins.B >= 0 {
+		b := f.sets[ins.B]
+		n = vset.IntersectCount(a, b)
+		if ins.NKeys > 0 {
+			n -= f.exclCount(ins, a, b)
+		}
+	} else {
+		n = int64(len(a))
+		if ins.NKeys > 0 {
+			n -= f.exclCount(ins, a, nil)
+		}
+	}
+	return n
 }
 
 // exclCount returns how many distinct excluded-variable values of a
@@ -391,6 +527,98 @@ func (f *vmFrame) execScalar(ins *ast.Instr) int64 {
 	panic(fmt.Sprintf("engine: unknown scalar op %d", ins.SOp))
 }
 
+// --- depth-1 loop splitting (work-stealing scheduler) ---
+
+// d1Sched receives shed depth-1 subranges from a frame executing a
+// heavy outer iteration; shed returns false when nobody is idle (the
+// range stays with the caller).
+type d1Sched interface {
+	shed(seg int, v uint32, lo, hi int) bool
+}
+
+// d1SplitMin is the smallest depth-1 range worth splitting: below it
+// the prefix-recompute cost of a stolen piece outweighs the balance
+// gain.
+const d1SplitMin = 32
+
+// execPrefix executes the pure straight-line prefix of a splittable
+// segment without op counting: a thief re-derives the register state an
+// owner already produced, so the recomputation is excluded from
+// OpCounts to keep totals independent of the steal schedule.
+func (f *vmFrame) execPrefix(start, end int32) {
+	code := f.sh.bc.Code
+	for pc := start; pc < end; pc++ {
+		ins := &code[pc]
+		switch ins.Op {
+		case ast.ISetDef:
+			f.execSet(ins)
+		case ast.IScalarDef:
+			f.scalars[ins.Dst] = f.execScalar(ins)
+		case ast.IScalarReset:
+			f.scalars[ins.Dst] = ins.Imm
+		case ast.ICount:
+			f.scalars[ins.Dst] = f.execCount(ins)
+		default:
+			panic(fmt.Sprintf("engine: impure opcode %d in splittable prefix", ins.Op))
+		}
+	}
+}
+
+// execD1 executes one outer iteration of splittable loop segment i with
+// the outer variable bound to v, restricted to depth-1 candidate
+// indices [lo, hi) (hi < 0 means the whole set). The owner call
+// (lo == 0) executes and counts the prefix; thief calls re-derive it
+// uncounted. While sched reports idle workers, the upper half of the
+// remaining range is shed as a stealable task, bounding straggler time
+// by the deepest single depth-1 iteration instead of the hottest outer
+// vertex. Returns false if a consumer or cancellation stopped the run.
+func (f *vmFrame) execD1(i int, v uint32, lo, hi int, sched d1Sched) bool {
+	seg := &f.sh.bc.Segments[i]
+	d1 := &f.sh.d1[i]
+	f.vars[seg.Var] = v
+	owner := lo == 0
+	if owner {
+		if !f.exec(seg.Start+1, d1.begin) {
+			return false
+		}
+	} else {
+		f.execPrefix(seg.Start+1, d1.begin)
+	}
+	begin := &f.sh.bc.Code[d1.begin]
+	c := f.sets[begin.A]
+	if hi < 0 || hi > len(c) {
+		hi = len(c)
+	}
+	// Manual loop-op accounting mirrors exec exactly (ILoopBegin once
+	// per outer iteration, ILoopNext once per element) so OpCounts are
+	// identical whether or not the range was split.
+	if owner {
+		f.opCounts[ast.ILoopBegin]++
+	}
+	for lo < hi {
+		if f.stopFlag != nil && f.stopFlag.Load() != 0 {
+			return true // run already stopped elsewhere; abandon quietly
+		}
+		if sched != nil && hi-lo >= d1SplitMin {
+			mid := lo + (hi-lo)/2
+			if sched.shed(i, v, mid, hi) {
+				hi = mid
+				continue
+			}
+		}
+		f.vars[begin.Dst] = c[lo]
+		f.opCounts[ast.ILoopNext]++
+		if !f.exec(d1.begin+1, d1.next) {
+			return false
+		}
+		lo++
+	}
+	return true
+}
+
+// splittable reports whether loop segment i supports depth-1 splitting.
+func (f *vmFrame) splittable(i int) bool { return f.sh.d1[i].ok }
+
 // --- runner interface (shared parallel driver) ---
 
 func (f *vmFrame) pin(pins []uint32) { copy(f.vars, pins) }
@@ -424,6 +652,53 @@ func (f *vmFrame) execChunk(i int, elems []uint32) bool {
 }
 
 func (f *vmFrame) fork() runner { return newVMFrame(f.sh, f) }
+
+// forkWorker returns a worker frame for the persistent pool, recycling
+// register files and arenas across runs; the caller re-syncs root state
+// via syncFrom.
+func (f *vmFrame) forkWorker() runner { return f.sh.getFrame() }
+
+// retire returns a worker frame to the shared recycle pool.
+func (f *vmFrame) retire(w runner) { f.sh.framePool.Put(w.(*vmFrame)) }
+
+// syncFrom re-copies the master's register state (pins, root-level set
+// and scalar definitions) into this worker frame at a segment boundary.
+func (f *vmFrame) syncFrom(m runner) {
+	mf := m.(*vmFrame)
+	copy(f.vars, mf.vars)
+	copy(f.scalars, mf.scalars)
+	// Root-level set registers are SSA and read-only within loops, so
+	// workers may alias the master's slices; in-loop registers are
+	// redefined before any read.
+	copy(f.sets, mf.sets)
+}
+
+// resetForJob clears run-scoped accumulators on a recycled frame.
+func (f *vmFrame) resetForJob() {
+	for i := range f.globalsV {
+		f.globalsV[i] = 0
+	}
+	f.opCounts = [ast.NumOpcodes]int64{}
+	for _, t := range f.tables {
+		t.Clear()
+	}
+	f.cancel = nil
+	f.cancelHit = false
+	f.stopFlag = nil
+	f.consumer = nil
+}
+
+func (f *vmFrame) setCancel(c *atomic.Bool) { f.cancel = c }
+
+func (f *vmFrame) canceled() bool { return f.cancelHit }
+
+func (f *vmFrame) instrCount() int64 {
+	var n int64
+	for _, c := range f.opCounts {
+		n += c
+	}
+	return n
+}
 
 func (f *vmFrame) setConsumer(c Consumer) { f.consumer = c }
 

@@ -60,31 +60,28 @@ func (s *System) processPartialEmbeddings(p *Pattern, newUDF func(worker int) UD
 		timer := time.AfterFunc(budget, func() { cancel.Store(true) })
 		defer timer.Stop()
 	}
-	res, err := engine.Run(s.graph.g, plan.Prog, engine.Options{
-		Threads:     s.opts.Threads,
-		Cancel:      cancel,
-		Interpreter: s.engineInterp(),
-		Code:        s.planCode(plan),
-		NewConsumer: func(worker int) engine.Consumer {
-			udf := newUDF(worker)
-			// One reusable PartialEmbedding per subpattern per worker.
-			pes := make([]*PartialEmbedding, len(info))
-			for i, si := range info {
-				pes[i] = &PartialEmbedding{
-					SubpatternIndex: i,
-					Subpattern:      &Pattern{si.pat},
-					Vertices:        make([]uint32, si.pat.NumVertices()),
-					WholeVertex:     si.toWhole,
-				}
+	eopts := s.execOptions(plan)
+	eopts.Cancel = cancel
+	eopts.NewConsumer = func(worker int) engine.Consumer {
+		udf := newUDF(worker)
+		// One reusable PartialEmbedding per subpattern per worker.
+		pes := make([]*PartialEmbedding, len(info))
+		for i, si := range info {
+			pes[i] = &PartialEmbedding{
+				SubpatternIndex: i,
+				Subpattern:      &Pattern{si.pat},
+				Vertices:        make([]uint32, si.pat.NumVertices()),
+				WholeVertex:     si.toWhole,
 			}
-			return engine.ConsumerFunc(func(sub int, verts []uint32, count int64) bool {
-				pe := pes[sub]
-				copy(pe.Vertices, verts)
-				udf(pe, count)
-				return true
-			})
-		},
-	})
+		}
+		return engine.ConsumerFunc(func(sub int, verts []uint32, count int64) bool {
+			pe := pes[sub]
+			copy(pe.Vertices, verts)
+			udf(pe, count)
+			return true
+		})
+	}
+	res, err := engine.Run(s.graph.g, plan.Prog, eopts)
 	if err != nil {
 		return false, err
 	}

@@ -1,0 +1,155 @@
+package decomine
+
+// Differential and determinism tests for the work-stealing scheduler:
+// the VM with stealing (the default driver) must agree with the
+// sequential tree-walker on every pattern flavor — plain, labeled,
+// vertex-induced and group-constrained — over both uniform G(n,p) and
+// skewed R-MAT graphs, and its merged OpCounts must not depend on the
+// thread count or the steal schedule.
+
+import (
+	"testing"
+)
+
+func stealSystem(g *Graph, threads int) *System {
+	return NewSystem(g, Options{Threads: threads, CostModel: CostLocality})
+}
+
+func treeSystem(g *Graph) *System {
+	return NewSystem(g, Options{Threads: 1, CostModel: CostLocality, Interpreter: InterpreterTree})
+}
+
+func TestStealDifferentialAcrossGraphShapes(t *testing.T) {
+	graphs := []struct {
+		name string
+		g    *Graph
+	}{
+		{"gnp", GenerateGNP(120, 0.07, 501).WithRandomLabels(3, 502)},
+		{"rmat", GenerateRMAT(8, 7, 503).WithRandomLabels(3, 504)},
+	}
+	names := []string{"clique-3", "cycle-4", "clique-4", "house"}
+	for _, gc := range graphs {
+		vm := stealSystem(gc.g, 4)
+		tree := treeSystem(gc.g)
+		for _, name := range names {
+			p, err := PatternByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Plain edge-induced.
+			got, err := vm.GetPatternCount(p)
+			if err != nil {
+				t.Fatalf("%s %s vm: %v", gc.name, name, err)
+			}
+			want, err := tree.GetPatternCount(p)
+			if err != nil {
+				t.Fatalf("%s %s tree: %v", gc.name, name, err)
+			}
+			if got != want {
+				t.Errorf("%s %s: steal VM %d != tree %d", gc.name, name, got, want)
+			}
+			// Vertex-induced.
+			got, err = vm.GetPatternCountVertexInduced(p)
+			if err != nil {
+				t.Fatalf("%s %s vm induced: %v", gc.name, name, err)
+			}
+			want, err = tree.GetPatternCountVertexInduced(p)
+			if err != nil {
+				t.Fatalf("%s %s tree induced: %v", gc.name, name, err)
+			}
+			if got != want {
+				t.Errorf("%s %s induced: steal VM %d != tree %d", gc.name, name, got, want)
+			}
+			// Group-constrained (all pattern vertices share one label).
+			cons := []LabelConstraint{{Kind: AllSameLabel, Vertices: allVerts(p)}}
+			got, err = vm.CountWithConstraints(p, cons)
+			if err != nil {
+				t.Fatalf("%s %s vm constrained: %v", gc.name, name, err)
+			}
+			want, err = tree.CountWithConstraints(p, cons)
+			if err != nil {
+				t.Fatalf("%s %s tree constrained: %v", gc.name, name, err)
+			}
+			if got != want {
+				t.Errorf("%s %s constrained: steal VM %d != tree %d", gc.name, name, got, want)
+			}
+		}
+		vm.Close()
+		tree.Close()
+	}
+}
+
+func allVerts(p *Pattern) []int {
+	vs := make([]int, p.NumVertices())
+	for i := range vs {
+		vs[i] = i
+	}
+	return vs
+}
+
+// TestStealOpCountsThreadIndependent runs the same query under 1, 2, 4
+// and 7 workers (odd counts shift the steal schedule) and requires
+// byte-identical per-opcode totals from LastExecStats every time.
+func TestStealOpCountsThreadIndependent(t *testing.T) {
+	g := GenerateRMAT(9, 7, 601)
+	p, err := PatternByName("house")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var base map[string]int64
+	var baseCount int64
+	for _, threads := range []int{1, 2, 4, 7} {
+		sys := stealSystem(g, threads)
+		c, err := sys.GetPatternCount(p)
+		if err != nil {
+			t.Fatalf("threads=%d: %v", threads, err)
+		}
+		st := sys.LastExecStats()
+		if base == nil {
+			base, baseCount = st.PerOp, c
+			sys.Close()
+			continue
+		}
+		if c != baseCount {
+			t.Fatalf("threads=%d: count %d != %d", threads, c, baseCount)
+		}
+		if len(st.PerOp) != len(base) {
+			t.Fatalf("threads=%d: %d opcodes != %d", threads, len(st.PerOp), len(base))
+		}
+		for op, n := range base {
+			if st.PerOp[op] != n {
+				t.Fatalf("threads=%d: op %s executed %d times, want %d", threads, op, st.PerOp[op], n)
+			}
+		}
+		sys.Close()
+	}
+}
+
+// TestStealDeterministicRepeats re-runs one query many times on a
+// shared pool: the count must never vary with the (nondeterministic)
+// steal schedule.
+func TestStealDeterministicRepeats(t *testing.T) {
+	g := GenerateRMAT(8, 8, 701)
+	sys := stealSystem(g, 4)
+	defer sys.Close()
+	p, err := PatternByName("cycle-4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := sys.GetPatternCount(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		got, err := sys.GetPatternCount(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("repeat %d: %d != %d", i, got, want)
+		}
+	}
+	if st := sys.LastExecStats(); st.Instructions == 0 {
+		t.Fatal("no instructions recorded")
+	}
+}
