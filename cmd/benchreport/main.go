@@ -1,0 +1,97 @@
+// Command benchreport runs the fixed DecoMine benchmark suite
+// (internal/bench) and writes a machine-readable BENCH_<stamp>.json:
+// per-workload throughput, worker balance, plan-cache hit rate, and the
+// compile-vs-execute time split. With -baseline it additionally gates
+// the fresh run against a pinned report (CI's bench-gate job) and exits
+// nonzero on regression.
+//
+// Usage:
+//
+//	benchreport [-short] [-threads N] [-seed S] [-out dir | -o file]
+//	            [-baseline results/bench_baseline.json] [-tolerance 0.25]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"decomine/internal/bench"
+)
+
+func main() {
+	short := flag.Bool("short", false, "run the CI-sized suite")
+	threads := flag.Int("threads", 4, "engine worker threads (fixed, for comparable reports)")
+	seed := flag.Int64("seed", 42, "graph-generation and planner seed")
+	outDir := flag.String("out", ".", "directory for BENCH_<stamp>.json")
+	outFile := flag.String("o", "", "explicit output path (overrides -out)")
+	baseline := flag.String("baseline", "", "pinned report to gate against")
+	tolerance := flag.Float64("tolerance", 0.25, "relative tolerance for host-dependent metrics")
+	flag.Parse()
+
+	rep, err := bench.Run(bench.Config{Short: *short, Threads: *threads, Seed: *seed})
+	if err != nil {
+		fatal(err)
+	}
+	rep.Stamp = time.Now().UTC().Format("20060102T150405Z")
+
+	path := *outFile
+	if path == "" {
+		path = filepath.Join(*outDir, "BENCH_"+rep.Stamp+".json")
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+
+	for _, w := range rep.Workloads {
+		fmt.Printf("%-26s count=%-12d %8.3g insn/s  balance=%.2f  cache=%.0f%%  compile=%.0f%%  wall=%s\n",
+			w.Name, w.Count, w.Throughput, w.Balance.MaxOverMean,
+			w.Cache.HitRate*100, w.CompileFrac*100,
+			time.Duration(w.WallNS).Round(time.Millisecond))
+	}
+
+	if *baseline == "" {
+		return
+	}
+	base, err := readReport(*baseline)
+	if err != nil {
+		fatal(err)
+	}
+	gate := bench.Compare(rep, base, *tolerance)
+	for _, w := range gate.Warnings {
+		fmt.Fprintf(os.Stderr, "WARN: %s\n", w)
+	}
+	for _, f := range gate.Failures {
+		fmt.Fprintf(os.Stderr, "FAIL: %s\n", f)
+	}
+	if !gate.OK() {
+		fmt.Fprintf(os.Stderr, "bench gate: %d failure(s) vs %s\n", len(gate.Failures), *baseline)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "bench gate: ok vs %s\n", *baseline)
+}
+
+func readReport(path string) (*bench.Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep bench.Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchreport:", err)
+	os.Exit(1)
+}

@@ -25,10 +25,13 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"time"
 
 	"decomine"
+	"decomine/internal/obs"
 )
 
 func main() {
@@ -36,11 +39,23 @@ func main() {
 	dataset := flag.String("dataset", "wk", "builtin dataset (cs ee wk mc pt lj fr rmat); ignored when -graph is set")
 	threads := flag.Int("threads", 0, "worker threads (0 = GOMAXPROCS)")
 	model := flag.String("model", "approx-mining", "cost model: approx-mining, locality, automine")
+	listen := flag.String("listen", "", "serve /metrics, /debug/vars, /debug/traces and /debug/pprof on this address (e.g. :6060) while the command runs")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) < 1 {
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if *listen != "" {
+		ln, err := net.Listen("tcp", *listen)
+		fatalIf(err)
+		fmt.Fprintf(os.Stderr, "observability: http://%s/metrics\n", ln.Addr())
+		go func() {
+			if err := http.Serve(ln, obs.Handler()); err != nil {
+				fmt.Fprintf(os.Stderr, "observability server: %v\n", err)
+			}
+		}()
 	}
 
 	g, err := loadGraph(*graphPath, *dataset)

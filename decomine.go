@@ -3,15 +3,26 @@ package decomine
 import (
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"decomine/internal/ast"
 	"decomine/internal/core"
 	"decomine/internal/cost"
 	"decomine/internal/engine"
+	"decomine/internal/obs"
 	"decomine/internal/pattern"
 	"decomine/internal/sampling"
+)
+
+// Plan-cache feeds into the shared metrics registry (also mirrored in
+// per-System counters; see CacheStats).
+var (
+	obsCacheHits     = obs.Default.Counter("plancache.hits")
+	obsCacheMisses   = obs.Default.Counter("plancache.misses")
+	obsCacheNegative = obs.Default.Counter("plancache.negative")
 )
 
 // Interpreter selects the in-process execution engine.
@@ -108,6 +119,12 @@ type System struct {
 	lastOpCounts []int64
 	lastSteals   int64
 	lastSplits   int64
+
+	// Plan-cache counters (see CacheStats). Kept as atomics so the hot
+	// cache-hit path does not lengthen its critical section.
+	cacheHits        atomic.Int64
+	cacheMisses      atomic.Int64
+	cacheNegativeHit atomic.Int64
 }
 
 type planKey struct {
@@ -124,6 +141,7 @@ type planEntry struct {
 	plan  *core.Plan
 	cost  float64
 	cands int
+	stats core.SearchStats
 	err   error
 }
 
@@ -249,19 +267,74 @@ func (s *System) searchOptions(mode core.Mode, induced bool) core.SearchOptions 
 	}
 }
 
+// noteCacheHit records a plan-cache lookup served from cache; negative
+// entries (remembered search failures) count separately.
+func (s *System) noteCacheHit(e *planEntry) {
+	if e.err != nil {
+		s.cacheNegativeHit.Add(1)
+		obsCacheNegative.Inc()
+		return
+	}
+	s.cacheHits.Add(1)
+	obsCacheHits.Inc()
+}
+
+// noteCacheMiss records a lookup that ran the algorithm search.
+func (s *System) noteCacheMiss() {
+	s.cacheMisses.Add(1)
+	obsCacheMisses.Inc()
+}
+
+// CacheStats reports plan-cache behavior since the System was created.
+// Every compiled-plan lookup — the counting APIs, Explain, GoSource and
+// the emission planner — moves exactly one of the three counters:
+// Hits (cached plan served), NegativeHits (cached search failure
+// served), or Misses (the algorithm search ran).
+type CacheStats struct {
+	Hits         int64
+	Misses       int64
+	NegativeHits int64
+}
+
+// CacheStats returns the System's plan-cache counters. Safe for
+// concurrent use.
+func (s *System) CacheStats() CacheStats {
+	return CacheStats{
+		Hits:         s.cacheHits.Load(),
+		Misses:       s.cacheMisses.Load(),
+		NegativeHits: s.cacheNegativeHit.Load(),
+	}
+}
+
 // planFull returns the cached search outcome for p, running the
 // algorithm search at most once per (pattern, mode, induced) key —
-// whether it succeeded or failed.
-func (s *System) planFull(p *pattern.Pattern, mode core.Mode, induced bool) (*planEntry, error) {
-	key := planKey{code: p.Canonical(), mode: mode, induced: induced, flavor: "std"}
+// whether it succeeded or failed. hit reports whether the entry was
+// served from the cache.
+func (s *System) planFull(p *pattern.Pattern, mode core.Mode, induced bool) (e *planEntry, hit bool, err error) {
+	return s.planFlavor(p, mode, induced, "std", nil)
+}
+
+// planFlavor is planFull with a caller-chosen cache-key flavor and an
+// optional search-option tweak (e.g. label constraints); the flavor
+// must determine the tweak so equal keys mean equal searches.
+func (s *System) planFlavor(p *pattern.Pattern, mode core.Mode, induced bool, flavor string, tweak func(*core.SearchOptions)) (e *planEntry, hit bool, err error) {
+	key := planKey{code: p.Canonical(), mode: mode, induced: induced, flavor: flavor}
 	s.mu.Lock()
 	if e, ok := s.planCache[key]; ok {
 		s.mu.Unlock()
-		return e, e.err
+		s.noteCacheHit(e)
+		return e, true, e.err
 	}
 	s.mu.Unlock()
+	s.noteCacheMiss()
+	var stats core.SearchStats
+	sopts := s.searchOptions(mode, induced)
+	sopts.Stats = &stats
+	if tweak != nil {
+		tweak(&sopts)
+	}
 	start := time.Now()
-	best, cands, err := core.Search(p, s.searchOptions(mode, induced))
+	best, cands, err := core.Search(p, sopts)
 	elapsed := time.Since(start)
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -269,19 +342,19 @@ func (s *System) planFull(p *pattern.Pattern, mode core.Mode, induced bool) (*pl
 	if e, ok := s.planCache[key]; ok {
 		// A concurrent search for the same key finished first; keep its
 		// entry so every caller sees one canonical plan.
-		return e, e.err
+		return e, false, e.err
 	}
-	e := &planEntry{err: err}
+	e = &planEntry{err: err, stats: stats}
 	if err == nil {
 		e.plan, e.cost, e.cands = best.Plan, best.Cost, len(cands)
 	}
 	s.planCache[key] = e
-	return e, err
+	return e, false, err
 }
 
 // plan returns a compiled plan for p, caching by canonical pattern code.
 func (s *System) plan(p *pattern.Pattern, mode core.Mode, induced bool) (*core.Plan, error) {
-	e, err := s.planFull(p, mode, induced)
+	e, _, err := s.planFull(p, mode, induced)
 	if err != nil {
 		return nil, err
 	}
@@ -329,8 +402,14 @@ type ExecStats struct {
 }
 
 // LastExecStats returns the per-opcode execution counters of the most
-// recent engine run this System started. Under InterpreterTree the
-// counters are empty (the tree-walker does not track them).
+// recent *completed* engine run this System started (updated atomically
+// under the System mutex when a run finishes). Under InterpreterTree
+// the counters are empty (the tree-walker does not track them).
+//
+// Deprecated: concurrent queries on a shared System overwrite each
+// other's snapshot, so under load this tells you about *some* recent
+// run, not yours. Use CountPattern and read Result.Stats for per-run
+// counters; this shim is kept for existing callers.
 func (s *System) LastExecStats() ExecStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -347,24 +426,36 @@ func (s *System) LastExecStats() ExecStats {
 }
 
 func (s *System) run(plan *core.Plan, newConsumer func(worker int) engine.Consumer) (int64, error) {
+	count, _, _, err := s.runStats(plan, newConsumer)
+	return count, err
+}
+
+// runStats executes plan and returns the count, the engine result (for
+// per-run stats) and how long assembling the execution state took —
+// which is the bytecode lowering + arena planning on a plan's first
+// run, and ~0 afterwards.
+func (s *System) runStats(plan *core.Plan, newConsumer func(worker int) engine.Consumer) (int64, *engine.Result, time.Duration, error) {
+	lowerStart := time.Now()
 	opts := s.execOptions(plan)
+	lowerDur := time.Since(lowerStart)
 	opts.NewConsumer = newConsumer
 	res, err := engine.Run(s.graph.g, plan.Prog, opts)
 	if err != nil {
-		return 0, err
+		return 0, nil, lowerDur, err
 	}
 	s.noteExecStats(res)
-	return res.Globals[plan.CountGlobal] / plan.Divisor, nil
+	return res.Globals[plan.CountGlobal] / plan.Divisor, res, lowerDur, nil
 }
 
 // GetPatternCount returns the number of edge-induced embeddings of p —
-// the paper's get_pattern_count API.
+// the paper's get_pattern_count API. It is CountPattern without the
+// per-run stats; both produce a phase trace in the observability layer.
 func (s *System) GetPatternCount(p *Pattern) (int64, error) {
-	plan, err := s.plan(p.p, core.ModeCount, false)
+	r, err := s.CountPattern(p)
 	if err != nil {
 		return 0, err
 	}
-	return s.run(plan, nil)
+	return r.Count, nil
 }
 
 // GetPatternCountVertexInduced returns the number of vertex-induced
@@ -412,13 +503,31 @@ func (s *System) GetPatternCountVertexInduced(p *Pattern) (int64, error) {
 // materialized embeddings, falling back to a direct plan when no such
 // cutting set exists.
 func (s *System) CountWithConstraints(p *Pattern, cons []LabelConstraint) (int64, error) {
-	opts := s.searchOptions(core.ModeCount, false)
-	opts.Constraints = toCoreConstraints(cons)
-	best, _, err := core.Search(p.p, opts)
+	ccons := toCoreConstraints(cons)
+	e, _, err := s.planFlavor(p.p, core.ModeCount, false, constraintFlavor(cons),
+		func(o *core.SearchOptions) { o.Constraints = ccons })
 	if err != nil {
 		return 0, err
 	}
-	return s.run(best.Plan, nil)
+	return s.run(e.plan, nil)
+}
+
+// constraintFlavor serializes a constraint list into a plan-cache key
+// flavor, so constrained queries get cached plans like plain counts.
+func constraintFlavor(cons []LabelConstraint) string {
+	var sb strings.Builder
+	sb.WriteString("cons")
+	for _, c := range cons {
+		if c.Kind == AllDifferentLabels {
+			sb.WriteString(":d")
+		} else {
+			sb.WriteString(":s")
+		}
+		for _, v := range c.Vertices {
+			fmt.Fprintf(&sb, ",%d", v)
+		}
+	}
+	return sb.String()
 }
 
 // Explain returns a human-readable description of the algorithm the
@@ -428,7 +537,7 @@ func (s *System) CountWithConstraints(p *Pattern, cons []LabelConstraint) (int64
 // pattern that was already mined (or mining one that was explained)
 // performs no additional search.
 func (s *System) Explain(p *Pattern) (string, error) {
-	e, err := s.planFull(p.p, core.ModeCount, false)
+	e, _, err := s.planFull(p.p, core.ModeCount, false)
 	if err != nil {
 		return "", err
 	}

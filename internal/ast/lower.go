@@ -12,6 +12,17 @@ package ast
 import (
 	"fmt"
 	"strings"
+
+	"decomine/internal/obs"
+)
+
+// Lowering feeds into the shared metrics registry: how many programs
+// were flattened to bytecode and how long their instruction streams
+// are. Lowering happens once per cached plan, so these move on plan
+// cache misses only.
+var (
+	obsLowerings = obs.Default.Counter("compile.lowerings")
+	obsCodeLen   = obs.Default.Histogram("compile.code_len")
 )
 
 // OpCode discriminates bytecode instructions.
@@ -207,6 +218,8 @@ func Lower(p *Program) *Lowered {
 		l.Segments = append(l.Segments, seg)
 	}
 	l.fuseCounts()
+	obsLowerings.Inc()
+	obsCodeLen.Observe(int64(len(l.Code)))
 	return l
 }
 

@@ -1,0 +1,258 @@
+// Package bench runs the fixed CI-sized benchmark suite behind
+// cmd/benchreport and the CI bench-gate job. Every metric it reports is
+// read back from the same obs registry the /metrics endpoint serves —
+// the harness consumes the observability layer rather than keeping a
+// private set of counters — so a workload's record is the registry
+// delta across that workload.
+//
+// The suite mirrors the paper's §8 workload families at CI scale:
+// 5/6-motif counting on G(n,p), 5-motif counting on R-MAT, FSM on a
+// labeled G(n,p), and a label-constrained query on a labeled R-MAT.
+// Each workload issues its query twice on one System so the second
+// round exercises the plan cache and the report carries a meaningful
+// hit rate.
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"decomine"
+	"decomine/internal/obs"
+)
+
+// Config sizes the suite.
+type Config struct {
+	// Short selects the CI-sized graphs (seconds, not minutes).
+	Short bool
+	// Threads is the engine worker count; 0 means 4 (fixed, so worker
+	// balance and throughput are comparable across hosts).
+	Threads int
+	// Seed fixes graph generation and all randomized planner choices; 0
+	// means 42.
+	Seed int64
+}
+
+// Balance summarizes the per-worker executed-instruction distribution
+// of a workload: MaxOverMean 1.0 is a perfect split, 2.0 means the
+// busiest worker did twice the average.
+type Balance struct {
+	Max         int64   `json:"max"`
+	Mean        float64 `json:"mean"`
+	MaxOverMean float64 `json:"max_over_mean"`
+}
+
+// Cache is the plan-cache counter movement during a workload.
+type Cache struct {
+	Hits         int64   `json:"hits"`
+	Misses       int64   `json:"misses"`
+	NegativeHits int64   `json:"negative_hits"`
+	HitRate      float64 `json:"hit_rate"`
+}
+
+// Workload is one suite entry's record. Count, Instructions and the
+// cache counters are deterministic for a given seed and version;
+// timings and balance are host-dependent.
+type Workload struct {
+	Name  string `json:"name"`
+	Count int64  `json:"count"`
+	// WallNS is the end-to-end workload time (both query rounds,
+	// including compilation).
+	WallNS int64 `json:"wall_ns"`
+	// Instructions is the engine.instructions registry delta.
+	Instructions int64 `json:"instructions"`
+	// Throughput is Instructions per second of engine execution time.
+	Throughput float64 `json:"throughput_insn_per_sec"`
+	// CompileNS / ExecNS are the compile.search_ns and engine.exec_ns
+	// registry deltas; CompileFrac = compile/(compile+exec) is the
+	// Figure 18 split.
+	CompileNS   int64   `json:"compile_ns"`
+	ExecNS      int64   `json:"exec_ns"`
+	CompileFrac float64 `json:"compile_frac"`
+	Balance     Balance `json:"worker_balance"`
+	Cache       Cache   `json:"cache"`
+}
+
+// Report is the machine-readable suite outcome written to
+// BENCH_<stamp>.json.
+type Report struct {
+	Schema    int        `json:"schema"`
+	Stamp     string     `json:"stamp"`
+	GoVersion string     `json:"go_version"`
+	Threads   int        `json:"threads"`
+	Short     bool       `json:"short"`
+	Seed      int64      `json:"seed"`
+	Workloads []Workload `json:"workloads"`
+}
+
+// workloadSpec is one suite entry: a graph to build and a query to run
+// (twice) against it.
+type workloadSpec struct {
+	name  string
+	graph func(cfg Config) *decomine.Graph
+	run   func(sys *decomine.System) (int64, error)
+}
+
+func gnp(n int, p float64, seed int64) func(Config) *decomine.Graph {
+	return func(Config) *decomine.Graph { return decomine.GenerateGNP(n, p, seed) }
+}
+
+func rmat(scale, ef int, seed int64) func(Config) *decomine.Graph {
+	return func(Config) *decomine.Graph { return decomine.GenerateRMAT(scale, ef, seed) }
+}
+
+func motifs(k int) func(*decomine.System) (int64, error) {
+	return func(sys *decomine.System) (int64, error) { return sys.TotalMotifCount(k) }
+}
+
+// suite returns the fixed workload list for cfg. Short keeps every
+// family but shrinks the graphs to CI scale.
+func suite(cfg Config) []workloadSpec {
+	if cfg.Short {
+		return []workloadSpec{
+			{"motif5-gnp", gnp(220, 0.03, cfg.Seed), motifs(5)},
+			{"motif6-gnp", gnp(110, 0.04, cfg.Seed+1), motifs(6)},
+			{"motif5-rmat", rmat(8, 6, cfg.Seed+2), motifs(5)},
+			{"fsm-gnp-labeled", labeledGNP(300, 0.02, 3, cfg.Seed+3), fsm(40, 2)},
+			{"constrained-rmat-labeled", labeledRMAT(9, 6, 4, cfg.Seed+4), constrainedCycle()},
+		}
+	}
+	return []workloadSpec{
+		{"motif5-gnp", gnp(600, 0.02, cfg.Seed), motifs(5)},
+		{"motif6-gnp", gnp(240, 0.025, cfg.Seed+1), motifs(6)},
+		{"motif5-rmat", rmat(11, 8, cfg.Seed+2), motifs(5)},
+		{"fsm-gnp-labeled", labeledGNP(800, 0.012, 4, cfg.Seed+3), fsm(60, 3)},
+		{"constrained-rmat-labeled", labeledRMAT(11, 8, 4, cfg.Seed+4), constrainedCycle()},
+	}
+}
+
+func labeledGNP(n int, p float64, labels int, seed int64) func(Config) *decomine.Graph {
+	return func(Config) *decomine.Graph {
+		return decomine.GenerateGNP(n, p, seed).WithRandomLabels(labels, seed)
+	}
+}
+
+func labeledRMAT(scale, ef, labels int, seed int64) func(Config) *decomine.Graph {
+	return func(Config) *decomine.Graph {
+		return decomine.GenerateRMAT(scale, ef, seed).WithRandomLabels(labels, seed)
+	}
+}
+
+func fsm(minSupport int64, maxEdges int) func(*decomine.System) (int64, error) {
+	return func(sys *decomine.System) (int64, error) {
+		fps, err := sys.FSM(minSupport, maxEdges)
+		if err != nil {
+			return 0, err
+		}
+		// The frequent-pattern census plus total support is a stronger
+		// determinism check than the pattern count alone.
+		total := int64(len(fps)) << 32
+		for _, fp := range fps {
+			total += fp.Support
+		}
+		return total, nil
+	}
+}
+
+func constrainedCycle() func(*decomine.System) (int64, error) {
+	p := decomine.MustParsePattern("0-1,1-2,2-3,3-0")
+	cons := []decomine.LabelConstraint{{Kind: decomine.AllDifferentLabels, Vertices: []int{0, 1, 2, 3}}}
+	return func(sys *decomine.System) (int64, error) {
+		return sys.CountWithConstraints(p, cons)
+	}
+}
+
+// Run executes the suite and assembles the report from obs registry
+// deltas. The caller stamps the report (Stamp stays empty here).
+func Run(cfg Config) (*Report, error) {
+	if cfg.Threads <= 0 {
+		cfg.Threads = 4
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 42
+	}
+	rep := &Report{
+		Schema:    1,
+		GoVersion: runtime.Version(),
+		Threads:   cfg.Threads,
+		Short:     cfg.Short,
+		Seed:      cfg.Seed,
+	}
+	for _, spec := range suite(cfg) {
+		w, err := runWorkload(cfg, spec)
+		if err != nil {
+			return nil, fmt.Errorf("bench: workload %s: %w", spec.name, err)
+		}
+		rep.Workloads = append(rep.Workloads, w)
+	}
+	return rep, nil
+}
+
+// runWorkload runs one spec: build graph, query twice on one System
+// (round two hits the plan cache), read the registry deltas.
+func runWorkload(cfg Config, spec workloadSpec) (Workload, error) {
+	g := spec.graph(cfg)
+	sys := decomine.NewSystem(g, decomine.Options{
+		Threads: cfg.Threads,
+		Seed:    cfg.Seed,
+		// CI-sized profiling and search: enough samples for stable plan
+		// choices, cheap enough that compile time doesn't swamp the suite.
+		ProfileSampleEdges: 20000,
+		ProfileTrials:      4000,
+		MaxCandidates:      64,
+	})
+	defer sys.Close()
+
+	base := obs.Default.Snapshot()
+	start := time.Now()
+	count, err := spec.run(sys)
+	if err != nil {
+		return Workload{}, err
+	}
+	again, err := spec.run(sys)
+	if err != nil {
+		return Workload{}, err
+	}
+	wall := time.Since(start)
+	if again != count {
+		return Workload{}, fmt.Errorf("cached re-run disagrees: %d vs %d", again, count)
+	}
+
+	reg := obs.Default
+	w := Workload{
+		Name:         spec.name,
+		Count:        count,
+		WallNS:       wall.Nanoseconds(),
+		Instructions: reg.CounterDelta(base, "engine.instructions"),
+		CompileNS:    reg.CounterDelta(base, "compile.search_ns"),
+		ExecNS:       reg.CounterDelta(base, "engine.exec_ns"),
+	}
+	if w.ExecNS > 0 {
+		w.Throughput = float64(w.Instructions) / (float64(w.ExecNS) / 1e9)
+	}
+	if tot := w.CompileNS + w.ExecNS; tot > 0 {
+		w.CompileFrac = float64(w.CompileNS) / float64(tot)
+	}
+	var sum int64
+	for t := 0; t < cfg.Threads; t++ {
+		d := reg.CounterDelta(base, fmt.Sprintf("engine.worker.instructions.%d", t))
+		sum += d
+		if d > w.Balance.Max {
+			w.Balance.Max = d
+		}
+	}
+	w.Balance.Mean = float64(sum) / float64(cfg.Threads)
+	if w.Balance.Mean > 0 {
+		w.Balance.MaxOverMean = float64(w.Balance.Max) / w.Balance.Mean
+	}
+	w.Cache = Cache{
+		Hits:         reg.CounterDelta(base, "plancache.hits"),
+		Misses:       reg.CounterDelta(base, "plancache.misses"),
+		NegativeHits: reg.CounterDelta(base, "plancache.negative"),
+	}
+	if lookups := w.Cache.Hits + w.Cache.Misses + w.Cache.NegativeHits; lookups > 0 {
+		w.Cache.HitRate = float64(w.Cache.Hits) / float64(lookups)
+	}
+	return w, nil
+}

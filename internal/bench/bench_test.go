@@ -1,0 +1,142 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// tinyReport builds a two-workload report for gate tests.
+func tinyReport() *Report {
+	return &Report{
+		Schema: 1, Threads: 4, Seed: 42, Short: true,
+		Workloads: []Workload{
+			{
+				Name: "a", Count: 100, Instructions: 1000,
+				ExecNS: 50_000_000, Throughput: 2e7,
+				Balance: Balance{Max: 300, Mean: 250, MaxOverMean: 1.2},
+				Cache:   Cache{Hits: 3, Misses: 3, HitRate: 0.5},
+			},
+			{
+				Name: "b", Count: 7, Instructions: 400,
+				ExecNS: 40_000_000, Throughput: 1e7,
+				Balance: Balance{Max: 100, Mean: 100, MaxOverMean: 1.0},
+				Cache:   Cache{Hits: 1, Misses: 1, HitRate: 0.5},
+			},
+		},
+	}
+}
+
+func TestCompareIdentical(t *testing.T) {
+	g := Compare(tinyReport(), tinyReport(), 0.25)
+	if !g.OK() || len(g.Warnings) != 0 {
+		t.Fatalf("identical reports should gate clean: %+v", g)
+	}
+}
+
+func TestCompareDeterministicDriftFails(t *testing.T) {
+	cur := tinyReport()
+	cur.Workloads[0].Count++
+	cur.Workloads[1].Instructions++
+	cur.Workloads[1].Cache.Misses++
+	g := Compare(cur, tinyReport(), 0.25)
+	if g.OK() {
+		t.Fatal("count/instruction/cache drift must fail")
+	}
+	if len(g.Failures) != 3 {
+		t.Fatalf("failures = %v, want count+instructions+cache", g.Failures)
+	}
+}
+
+func TestCompareUniformSlowdownOnlyWarns(t *testing.T) {
+	// Halving every throughput models a slower host: normalized rates
+	// are unchanged, so the gate passes with absolute-rate warnings.
+	cur := tinyReport()
+	for i := range cur.Workloads {
+		cur.Workloads[i].Throughput /= 2
+		cur.Workloads[i].ExecNS *= 2
+	}
+	g := Compare(cur, tinyReport(), 0.25)
+	if !g.OK() {
+		t.Fatalf("uniform slowdown must not fail: %v", g.Failures)
+	}
+	if len(g.Warnings) != 2 {
+		t.Fatalf("warnings = %v, want one absolute-throughput warning per workload", g.Warnings)
+	}
+}
+
+func TestCompareRelativeRegressionFails(t *testing.T) {
+	// Workload a gets 3x slower while b is unchanged: a's normalized
+	// throughput drops and the gate must fail.
+	cur := tinyReport()
+	cur.Workloads[0].Throughput /= 3
+	cur.Workloads[0].ExecNS *= 3
+	g := Compare(cur, tinyReport(), 0.25)
+	if g.OK() {
+		t.Fatal("one-workload slowdown must fail the gate")
+	}
+	if !strings.Contains(g.Failures[0], "normalized throughput") {
+		t.Fatalf("failure = %q, want normalized-throughput regression", g.Failures[0])
+	}
+}
+
+func TestCompareShortExecNeverFailsOnThroughput(t *testing.T) {
+	base := tinyReport()
+	base.Workloads[0].ExecNS = 2_000_000 // under the 10ms floor
+	cur := tinyReport()
+	cur.Workloads[0].ExecNS = 2_000_000
+	cur.Workloads[0].Throughput /= 10
+	g := Compare(cur, base, 0.25)
+	if !g.OK() {
+		t.Fatalf("sub-floor workload throughput must not fail: %v", g.Failures)
+	}
+}
+
+func TestCompareConfigMismatch(t *testing.T) {
+	cur := tinyReport()
+	cur.Threads = 8
+	if g := Compare(cur, tinyReport(), 0.25); g.OK() {
+		t.Fatal("thread-count mismatch must fail")
+	}
+}
+
+func TestCompareMissingAndExtraWorkloads(t *testing.T) {
+	cur := tinyReport()
+	cur.Workloads[0].Name = "c" // "a" vanished, "c" is new
+	g := Compare(cur, tinyReport(), 0.25)
+	if g.OK() {
+		t.Fatal("missing baseline workload must fail")
+	}
+	if len(g.Warnings) == 0 {
+		t.Fatal("new workload should warn")
+	}
+}
+
+// TestRunWorkload runs the smallest real workload end to end and checks
+// the registry-derived fields the acceptance criteria name: nonzero
+// throughput, worker balance, and cache-hit rate.
+func TestRunWorkload(t *testing.T) {
+	cfg := Config{Short: true, Threads: 2, Seed: 42}
+	w, err := runWorkload(cfg, workloadSpec{
+		name:  "smoke",
+		graph: gnp(80, 0.05, 1),
+		run:   motifs(4),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Count <= 0 || w.Instructions <= 0 {
+		t.Fatalf("count=%d instructions=%d, want > 0", w.Count, w.Instructions)
+	}
+	if w.Throughput <= 0 {
+		t.Fatalf("throughput = %v, want > 0", w.Throughput)
+	}
+	if w.Balance.Max <= 0 || w.Balance.MaxOverMean < 1 {
+		t.Fatalf("balance = %+v, want populated", w.Balance)
+	}
+	if w.Cache.HitRate <= 0 || w.Cache.Hits == 0 || w.Cache.Misses == 0 {
+		t.Fatalf("cache = %+v, want hits and misses from the two rounds", w.Cache)
+	}
+	if w.CompileNS <= 0 || w.ExecNS <= 0 {
+		t.Fatalf("compile=%d exec=%d ns, want > 0", w.CompileNS, w.ExecNS)
+	}
+}

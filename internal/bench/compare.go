@@ -1,0 +1,116 @@
+package bench
+
+import "fmt"
+
+// Gate is the outcome of comparing a fresh report to a pinned baseline.
+// Failures break the CI bench-gate job; warnings are advisory (e.g. a
+// big improvement, which means the baseline should be refreshed).
+type Gate struct {
+	Failures []string
+	Warnings []string
+}
+
+// OK reports whether the gate passed.
+func (g Gate) OK() bool { return len(g.Failures) == 0 }
+
+// minGateExecNS is the engine-time floor under which a workload's
+// throughput is too noisy to fail the gate (10ms).
+const minGateExecNS = 10_000_000
+
+func (g *Gate) failf(format string, args ...any) {
+	g.Failures = append(g.Failures, fmt.Sprintf(format, args...))
+}
+
+func (g *Gate) warnf(format string, args ...any) {
+	g.Warnings = append(g.Warnings, fmt.Sprintf(format, args...))
+}
+
+// suiteRate is a report's aggregate engine throughput (total
+// instructions over total engine time), the normalizer that cancels
+// host speed out of per-workload throughput comparisons.
+func suiteRate(r *Report) float64 {
+	var instr, ns int64
+	for _, w := range r.Workloads {
+		instr += w.Instructions
+		ns += w.ExecNS
+	}
+	if ns == 0 {
+		return 0
+	}
+	return float64(instr) / (float64(ns) / 1e9)
+}
+
+// Compare gates cur against base with the given relative tolerance
+// (0.25 = ±25%). The policy separates metric classes by how much of
+// their variance is signal:
+//
+//   - Counts, engine instruction totals, and plan-cache counters are
+//     seed-determined: any drift is a real behavior change and fails.
+//   - Normalized throughput (a workload's rate relative to the whole
+//     suite's rate, which cancels host speed) fails on regression
+//     beyond tol and warns on improvement — but only for workloads with
+//     enough engine time to measure. A uniform slowdown across every
+//     workload cancels out of the ratio; the absolute-throughput
+//     warnings below are the safety net for that case.
+//   - Absolute throughput and worker balance are host- and
+//     schedule-dependent: drift beyond tol only warns.
+func Compare(cur, base *Report, tol float64) Gate {
+	var g Gate
+	if cur.Threads != base.Threads || cur.Seed != base.Seed || cur.Short != base.Short {
+		g.failf("config mismatch: current (threads=%d seed=%d short=%v) vs baseline (threads=%d seed=%d short=%v)",
+			cur.Threads, cur.Seed, cur.Short, base.Threads, base.Seed, base.Short)
+		return g
+	}
+	curRate, baseRate := suiteRate(cur), suiteRate(base)
+	curBy := map[string]Workload{}
+	for _, w := range cur.Workloads {
+		curBy[w.Name] = w
+	}
+	for _, b := range base.Workloads {
+		c, ok := curBy[b.Name]
+		if !ok {
+			g.failf("%s: workload missing from current report", b.Name)
+			continue
+		}
+		delete(curBy, b.Name)
+		if c.Count != b.Count {
+			g.failf("%s: count %d != baseline %d", b.Name, c.Count, b.Count)
+		}
+		if c.Instructions != b.Instructions {
+			g.failf("%s: instructions %d != baseline %d", b.Name, c.Instructions, b.Instructions)
+		}
+		if c.Cache.Hits != b.Cache.Hits || c.Cache.Misses != b.Cache.Misses ||
+			c.Cache.NegativeHits != b.Cache.NegativeHits {
+			g.failf("%s: cache counters %+v != baseline %+v", b.Name, c.Cache, b.Cache)
+		}
+		if b.Throughput > 0 && c.Throughput > 0 && curRate > 0 && baseRate > 0 {
+			if b.ExecNS >= minGateExecNS {
+				cNorm, bNorm := c.Throughput/curRate, b.Throughput/baseRate
+				switch {
+				case cNorm < bNorm*(1-tol):
+					g.failf("%s: normalized throughput %.2f regressed beyond %.0f%% of baseline %.2f (absolute %.3g vs %.3g insn/s)",
+						b.Name, cNorm, tol*100, bNorm, c.Throughput, b.Throughput)
+				case cNorm > bNorm*(1+tol):
+					g.warnf("%s: normalized throughput %.2f improved beyond %.0f%% of baseline %.2f — refresh the baseline",
+						b.Name, cNorm, tol*100, bNorm)
+				}
+			}
+			switch {
+			case c.Throughput < b.Throughput*(1-tol):
+				g.warnf("%s: absolute throughput %.3g insn/s below baseline %.3g (host-dependent; check for a uniform slowdown)",
+					b.Name, c.Throughput, b.Throughput)
+			case c.Throughput > b.Throughput*(1+tol):
+				g.warnf("%s: absolute throughput %.3g insn/s above baseline %.3g",
+					b.Name, c.Throughput, b.Throughput)
+			}
+		}
+		if b.Balance.MaxOverMean > 0 && c.Balance.MaxOverMean > b.Balance.MaxOverMean*(1+tol) {
+			g.warnf("%s: worker balance max/mean %.2f worse than baseline %.2f",
+				b.Name, c.Balance.MaxOverMean, b.Balance.MaxOverMean)
+		}
+	}
+	for name := range curBy {
+		g.warnf("%s: workload not in baseline — pin a new baseline to gate it", name)
+	}
+	return g
+}

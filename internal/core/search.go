@@ -5,11 +5,21 @@ import (
 	"math/bits"
 	"math/rand"
 	"sort"
+	"time"
 
 	"decomine/internal/ast"
 	"decomine/internal/cost"
 	"decomine/internal/decomp"
+	"decomine/internal/obs"
 	"decomine/internal/pattern"
+)
+
+// Compiler-side feeds into the shared metrics registry, updated once
+// per algorithm search.
+var (
+	obsSearches   = obs.Default.Counter("compile.searches")
+	obsSearchNS   = obs.Default.Counter("compile.search_ns")
+	obsCandidates = obs.Default.Histogram("compile.candidates")
 )
 
 // SearchOptions configures the algorithm search (paper §7.3).
@@ -44,7 +54,20 @@ type SearchOptions struct {
 	// label constraints (§7.5). Decomposition candidates that cannot
 	// resolve the constraints are skipped automatically.
 	Constraints []LabelConstraint
+	// Stats, when non-nil, receives the phase split of this search
+	// (candidate enumeration vs cost-model ranking) for query tracing.
+	Stats *SearchStats
 	// Mode ModeEmit additionally requires partial-embedding emission.
+}
+
+// SearchStats reports how one algorithm search spent its time:
+// EnumerateTime covers candidate generation plus the middle-end
+// optimizer, RankTime covers cost-model evaluation, and Candidates is
+// the number of plans costed.
+type SearchStats struct {
+	EnumerateTime time.Duration
+	RankTime      time.Duration
+	Candidates    int
 }
 
 // Candidate pairs a generated plan with its estimated cost.
@@ -71,6 +94,8 @@ func Search(p *pattern.Pattern, opts SearchOptions) (*Candidate, []Candidate, er
 		return nil, nil, fmt.Errorf("core: pattern %s is not connected", p)
 	}
 
+	searchStart := time.Now()
+	var rankTime time.Duration
 	var cands []Candidate
 	add := func(plan *Plan, err error) {
 		if err != nil || len(cands) >= maxCand {
@@ -79,7 +104,10 @@ func Search(p *pattern.Pattern, opts SearchOptions) (*Candidate, []Candidate, er
 		if !opts.DisableOptimize {
 			ast.Optimize(plan.Prog)
 		}
-		cands = append(cands, Candidate{Plan: plan, Cost: opts.Model.Cost(plan.Prog)})
+		rankStart := time.Now()
+		c := opts.Model.Cost(plan.Prog)
+		rankTime += time.Since(rankStart)
+		cands = append(cands, Candidate{Plan: plan, Cost: c})
 	}
 
 	// Direct plans.
@@ -118,6 +146,15 @@ func Search(p *pattern.Pattern, opts SearchOptions) (*Candidate, []Candidate, er
 		}
 	}
 
+	total := time.Since(searchStart)
+	obsSearches.Inc()
+	obsSearchNS.Add(total.Nanoseconds())
+	obsCandidates.Observe(int64(len(cands)))
+	if opts.Stats != nil {
+		opts.Stats.EnumerateTime = total - rankTime
+		opts.Stats.RankTime = rankTime
+		opts.Stats.Candidates = len(cands)
+	}
 	if len(cands) == 0 {
 		return nil, nil, fmt.Errorf("core: no candidates for %s", p)
 	}

@@ -11,7 +11,17 @@ import (
 
 	"decomine/internal/ast"
 	"decomine/internal/graph"
+	"decomine/internal/obs"
 	"decomine/internal/sampling"
+)
+
+// Per-model evaluation counters: one increment per candidate plan
+// costed, so the registry shows how much ranking work each search did
+// and which model is live.
+var (
+	obsEvalAutoMine = obs.Default.Counter("cost.evals.automine")
+	obsEvalLocality = obs.Default.Counter("cost.evals.locality")
+	obsEvalApprox   = obs.Default.Counter("cost.evals.approx-mining")
 )
 
 // GraphStats summarizes the input graph for the analytic models.
@@ -56,6 +66,7 @@ func NewAutoMine(st GraphStats) Model { return &autoMine{st} }
 func (m *autoMine) Name() string { return "automine" }
 
 func (m *autoMine) Cost(prog *ast.Program) float64 {
+	obsEvalAutoMine.Inc()
 	e := estimator{st: m.st, intersect: func(a, b float64, _, _ bool) float64 {
 		return a * b / math.Max(m.st.N, 1)
 	}}
@@ -83,6 +94,7 @@ func NewLocality(st GraphStats, plocal float64) Model {
 func (m *locality) Name() string { return "locality" }
 
 func (m *locality) Cost(prog *ast.Program) float64 {
+	obsEvalLocality.Inc()
 	e := estimator{st: m.st, intersect: func(a, b float64, na, nb bool) float64 {
 		if na && nb {
 			return math.Min(a, b) * m.plocal
@@ -112,6 +124,7 @@ func NewApproxMining(st GraphStats, profile *sampling.Profile) Model {
 func (m *approxMining) Name() string { return "approx-mining" }
 
 func (m *approxMining) Cost(prog *ast.Program) float64 {
+	obsEvalApprox.Inc()
 	e := estimator{
 		st: m.st,
 		intersect: func(a, b float64, na, nb bool) float64 {

@@ -5,11 +5,45 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"decomine/internal/ast"
 	"decomine/internal/graph"
+	"decomine/internal/obs"
 	"decomine/internal/vset"
 )
+
+// Engine-level feeds into the shared metrics registry. Every counter is
+// updated once per run (or once per worker per run), never on the
+// per-instruction hot path.
+var (
+	obsRuns        = obs.Default.Counter("engine.runs")
+	obsInstr       = obs.Default.Counter("engine.instructions")
+	obsSteals      = obs.Default.Counter("engine.steals")
+	obsSplits      = obs.Default.Counter("engine.splits")
+	obsExecNS      = obs.Default.Counter("engine.exec_ns")
+	obsCanceled    = obs.Default.Counter("engine.canceled")
+	obsWorkerInstr = obs.Default.Histogram("engine.worker.instructions")
+	obsWorkerSteal = obs.Default.Histogram("engine.worker.steals")
+	obsWorkerSplit = obs.Default.Histogram("engine.worker.splits")
+)
+
+// workerInstrCounter returns the per-slot instruction counter
+// "engine.worker.instructions.<t>". Slot handles are cached so the
+// per-run cost is one mutex-protected slice read.
+var (
+	slotMu   sync.Mutex
+	slotCtrs []*obs.Counter
+)
+
+func workerInstrCounter(t int) *obs.Counter {
+	slotMu.Lock()
+	defer slotMu.Unlock()
+	for len(slotCtrs) <= t {
+		slotCtrs = append(slotCtrs, obs.Default.Counter(fmt.Sprintf("engine.worker.instructions.%d", len(slotCtrs))))
+	}
+	return slotCtrs[t]
+}
 
 // Consumer receives partial embeddings from KEmit nodes. One Consumer is
 // created per worker (see Options.NewConsumer) so implementations need no
@@ -116,6 +150,8 @@ type Result struct {
 	// SchedChunk and sequential runs.
 	Steals int64
 	Splits int64
+	// Elapsed is the wall-clock duration of this run.
+	Elapsed time.Duration
 }
 
 // InstructionsExecuted sums OpCounts; 0 under the tree-walker.
@@ -181,6 +217,7 @@ const (
 
 // Run executes a program against g and returns the merged globals.
 func Run(g *graph.Graph, prog *ast.Program, opts Options) (*Result, error) {
+	runStart := time.Now()
 	if err := prog.Validate(); err != nil {
 		return nil, err
 	}
@@ -314,6 +351,10 @@ func Run(g *graph.Graph, prog *ast.Program, opts Options) (*Result, error) {
 			pool.runJob(j)
 			res.Steals += j.steals.Load()
 			res.Splits += j.splits.Load()
+			for t := range j.frames {
+				obsWorkerSteal.Observe(j.stealsBy[t].Load())
+				obsWorkerSplit.Observe(j.splitsBy[t].Load())
+			}
 			for t, wf := range j.frames {
 				wc := wf.instrCount()
 				res.WorkPerThread[t] += wc
@@ -404,6 +445,22 @@ func Run(g *graph.Graph, prog *ast.Program, opts Options) (*Result, error) {
 	}
 	master.finish(res)
 	master.retire(master)
+	res.Elapsed = time.Since(runStart)
+
+	obsRuns.Inc()
+	obsExecNS.Add(res.Elapsed.Nanoseconds())
+	obsSteals.Add(res.Steals)
+	obsSplits.Add(res.Splits)
+	if res.Canceled {
+		obsCanceled.Inc()
+	}
+	if useVM {
+		obsInstr.Add(res.InstructionsExecuted())
+		for t, w := range res.WorkPerThread {
+			obsWorkerInstr.Observe(w)
+			workerInstrCounter(t).Add(w)
+		}
+	}
 	return res, nil
 }
 

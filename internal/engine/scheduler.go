@@ -24,6 +24,7 @@ import (
 
 	"decomine/internal/ast"
 	"decomine/internal/graph"
+	"decomine/internal/obs"
 )
 
 // Prepared bundles reusable per-program execution state — the arena
@@ -84,7 +85,12 @@ type job struct {
 	pending atomic.Int64
 	steals  atomic.Int64
 	splits  atomic.Int64
-	done    chan struct{}
+	// stealsBy / splitsBy attribute steals (by the thief) and sheds (by
+	// the shedding owner) to worker slots, feeding the per-worker
+	// balance histograms.
+	stealsBy []atomic.Int64
+	splitsBy []atomic.Int64
+	done     chan struct{}
 }
 
 // newJob builds a job for loop segment seg of master's program,
@@ -93,11 +99,13 @@ type job struct {
 // concurrently.
 func newJob(master *vmFrame, seg int, over []uint32, cancel *atomic.Bool, slots int, getConsumer func(int) Consumer) *job {
 	j := &job{
-		over:   over,
-		seg:    seg,
-		cancel: cancel,
-		frames: make([]*vmFrame, slots),
-		done:   make(chan struct{}),
+		over:     over,
+		seg:      seg,
+		cancel:   cancel,
+		frames:   make([]*vmFrame, slots),
+		stealsBy: make([]atomic.Int64, slots),
+		splitsBy: make([]atomic.Int64, slots),
+		done:     make(chan struct{}),
 	}
 	for t := range j.frames {
 		wf := master.sh.getFrame()
@@ -155,6 +163,8 @@ func NewPool(threads int) *Pool {
 		p.wg.Add(1)
 		go p.workerLoop(i)
 	}
+	obs.Default.Counter("engine.pools").Inc()
+	obs.Default.Gauge("engine.pool.size").Set(int64(threads))
 	return p
 }
 
@@ -208,6 +218,7 @@ func (p *Pool) findWork(id int) (piece, bool) {
 		if t, split := p.stealLocked(id); t != nil {
 			if split {
 				t.j.steals.Add(1)
+				t.j.stealsBy[id].Add(1)
 			}
 			p.deques[id] = append(p.deques[id], t)
 			continue // carve from it on the next pass
@@ -258,7 +269,9 @@ func (p *Pool) stealLocked(id int) (t *task, split bool) {
 		v := (id + off) % p.size
 		if t, split = stealFrom(&p.deques[v]); t != nil {
 			if !split {
-				t.j.steals.Add(1) // whole-task transfer between workers
+				// Whole-task transfer between workers.
+				t.j.steals.Add(1)
+				t.j.stealsBy[id].Add(1)
 			}
 			return t, split
 		}
@@ -292,8 +305,9 @@ func stealFrom(d *[]*task) (*task, bool) {
 // shedder lets execD1 push the upper half of a heavy depth-1 range as a
 // stealable task when somebody is idle.
 type shedder struct {
-	p *Pool
-	j *job
+	p  *Pool
+	j  *job
+	id int // worker slot doing the shedding
 }
 
 func (s *shedder) shed(seg int, v uint32, lo, hi int) bool {
@@ -308,6 +322,7 @@ func (s *shedder) shed(seg int, v uint32, lo, hi int) bool {
 	p.cond.Signal()
 	p.mu.Unlock()
 	s.j.splits.Add(1)
+	s.j.splitsBy[s.id].Add(1)
 	return true
 }
 
@@ -326,7 +341,7 @@ func (p *Pool) runPiece(id int, pc piece) {
 		return
 	}
 	f := j.frames[id]
-	sched := &shedder{p: p, j: j}
+	sched := &shedder{p: p, j: j, id: id}
 	ok := true
 	if t.depth1 {
 		ok = f.execD1(t.seg, t.v, pc.lo, pc.hi, sched)

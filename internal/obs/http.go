@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+	"sync"
+)
+
+// publishOnce guards the expvar names (expvar.Publish panics on
+// duplicates, and Handler may be called more than once).
+var publishOnce sync.Once
+
+// publishExpvar exposes the Default registry and the recent-trace ring
+// as expvar variables, so they appear under /debug/vars next to the
+// runtime's memstats.
+func publishExpvar() {
+	publishOnce.Do(func() {
+		expvar.Publish("decomine.metrics", expvar.Func(func() any {
+			return Default.Snapshot()
+		}))
+		expvar.Publish("decomine.traces", expvar.Func(func() any {
+			return RecentTraces()
+		}))
+	})
+}
+
+// Handler returns the observability endpoint mux:
+//
+//	/metrics        flat text dump of the Default registry
+//	/debug/vars     expvar (includes decomine.metrics, decomine.traces)
+//	/debug/traces   recent query traces as JSON
+//	/debug/pprof/*  the standard pprof profiles
+func Handler() http.Handler {
+	publishExpvar()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		var sb strings.Builder
+		Default.Snapshot().WriteText(&sb)
+		_, _ = w.Write([]byte(sb.String()))
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(RecentTraces())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,252 @@
+// Package obs is DecoMine's observability spine: a metrics registry
+// with lock-free update paths (counters, gauges, and histograms with
+// fixed log-spaced buckets), per-query phase traces, and an HTTP
+// handler exposing everything via expvar, net/http/pprof and a plain
+// /metrics dump.
+//
+// Design: registration (name -> handle lookup) takes a mutex, but it
+// happens once per metric — callers hoist handles into package-level
+// vars — while every update on the hot path is a single atomic add.
+// The compiler, cost models, plan cache, scheduler and VM all feed the
+// Default registry; cmd/benchreport reads suite-level deltas from the
+// same counters the production endpoint serves.
+package obs
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing int64. The zero value is ready
+// to use; all methods are safe for concurrent use and lock-free.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds d (d may be any sign, but counters are conventionally
+// monotone; use a Gauge for values that go down).
+func (c *Counter) Add(d int64) { c.v.Add(d) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Gauge is a settable int64 (pool sizes, in-flight queries).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the gauge by d.
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// numBuckets covers the full non-negative int64 range in power-of-two
+// buckets: bucket i holds observations v with bits.Len64(v) == i, i.e.
+// bucket 0 is v <= 0, bucket i is [2^(i-1), 2^i).
+const numBuckets = 65
+
+// Histogram counts observations into fixed log-spaced (power-of-two)
+// buckets. Observe is a single atomic add per bucket plus count/sum
+// bookkeeping; there is no locking anywhere.
+type Histogram struct {
+	buckets [numBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+}
+
+// Observe records one value. Negative values land in bucket 0.
+func (h *Histogram) Observe(v int64) {
+	i := 0
+	if v > 0 {
+		i = bits.Len64(uint64(v))
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Mean returns the mean observed value (0 with no observations).
+func (h *Histogram) Mean() float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(n)
+}
+
+// HistBucket is one non-empty histogram bucket in a snapshot: Count
+// observations with value < Upper (and >= Upper/2, except the first).
+type HistBucket struct {
+	Upper int64 `json:"upper"`
+	Count int64 `json:"count"`
+}
+
+// Buckets returns the non-empty buckets in ascending bound order.
+func (h *Histogram) Buckets() []HistBucket {
+	var out []HistBucket
+	for i := 0; i < numBuckets; i++ {
+		if c := h.buckets[i].Load(); c != 0 {
+			upper := int64(1)
+			if i > 0 && i < 64 {
+				upper = int64(1) << i
+			} else if i >= 64 {
+				upper = 1<<63 - 1
+			}
+			out = append(out, HistBucket{Upper: upper, Count: c})
+		}
+	}
+	return out
+}
+
+// Registry holds named metrics. Handle lookup takes a short mutex;
+// metric updates through the returned handles are lock-free.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   map[string]*Counter{},
+		gauges:     map[string]*Gauge{},
+		histograms: map[string]*Histogram{},
+	}
+}
+
+// Default is the process-wide registry every DecoMine subsystem feeds.
+var Default = NewRegistry()
+
+// Counter returns the counter registered under name, creating it on
+// first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first
+// use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it on
+// first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = &Histogram{}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// HistSnapshot is a histogram in a Snapshot.
+type HistSnapshot struct {
+	Count   int64        `json:"count"`
+	Sum     int64        `json:"sum"`
+	Buckets []HistBucket `json:"buckets,omitempty"`
+}
+
+// Snapshot is a point-in-time copy of every metric in a registry,
+// suitable for JSON encoding (expvar) or diffing (benchreport).
+type Snapshot struct {
+	Counters   map[string]int64        `json:"counters"`
+	Gauges     map[string]int64        `json:"gauges,omitempty"`
+	Histograms map[string]HistSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot copies the current value of every registered metric.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{
+		Counters:   make(map[string]int64, len(r.counters)),
+		Gauges:     make(map[string]int64, len(r.gauges)),
+		Histograms: make(map[string]HistSnapshot, len(r.histograms)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Load()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Load()
+	}
+	for name, h := range r.histograms {
+		s.Histograms[name] = HistSnapshot{Count: h.Count(), Sum: h.Sum(), Buckets: h.Buckets()}
+	}
+	return s
+}
+
+// CounterDelta returns snapshot-relative counter growth: the current
+// value of counter name minus its value in base (0 when absent then).
+func (r *Registry) CounterDelta(base Snapshot, name string) int64 {
+	return r.Counter(name).Load() - base.Counters[name]
+}
+
+// WriteText renders the registry in a flat, stable, line-oriented text
+// format (the /metrics endpoint).
+func (s Snapshot) WriteText(sb *strings.Builder) {
+	names := make([]string, 0, len(s.Counters))
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(sb, "counter %s %d\n", n, s.Counters[n])
+	}
+	names = names[:0]
+	for n := range s.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(sb, "gauge %s %d\n", n, s.Gauges[n])
+	}
+	names = names[:0]
+	for n := range s.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := s.Histograms[n]
+		fmt.Fprintf(sb, "histogram %s count=%d sum=%d", n, h.Count, h.Sum)
+		for _, b := range h.Buckets {
+			fmt.Fprintf(sb, " le_%d=%d", b.Upper, b.Count)
+		}
+		sb.WriteByte('\n')
+	}
+}

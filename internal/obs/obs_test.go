@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a.b")
+	c.Inc()
+	c.Add(4)
+	if got := c.Load(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("a.b") != c {
+		t.Fatal("second lookup returned a different handle")
+	}
+	g := r.Gauge("g")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Load(); got != 5 {
+		t.Fatalf("gauge = %d, want 5", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	for _, v := range []int64{0, 1, 1, 3, 4, 100, 1 << 40} {
+		h.Observe(v)
+	}
+	if h.Count() != 7 {
+		t.Fatalf("count = %d, want 7", h.Count())
+	}
+	want := int64(0 + 1 + 1 + 3 + 4 + 100 + 1<<40)
+	if h.Sum() != want {
+		t.Fatalf("sum = %d, want %d", h.Sum(), want)
+	}
+	got := map[int64]int64{}
+	for _, b := range h.Buckets() {
+		got[b.Upper] = b.Count
+	}
+	// 0 -> bucket 0 (upper 1... bucket 0 reported with upper 1), 1,1 ->
+	// [1,2), 3 -> [2,4), 4 -> [4,8), 100 -> [64,128), 2^40 -> [2^40,2^41).
+	checks := map[int64]int64{2: 2, 4: 1, 8: 1, 128: 1, 1 << 41: 1}
+	for upper, n := range checks {
+		if got[upper] != n {
+			t.Errorf("bucket upper=%d count=%d, want %d (all: %v)", upper, got[upper], n, got)
+		}
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(int64(i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Count() != workers*per {
+		t.Fatalf("count = %d, want %d", h.Count(), workers*per)
+	}
+}
+
+func TestSnapshotAndDelta(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x").Add(2)
+	r.Histogram("h").Observe(9)
+	base := r.Snapshot()
+	r.Counter("x").Add(5)
+	r.Counter("fresh").Inc()
+	if d := r.CounterDelta(base, "x"); d != 5 {
+		t.Fatalf("delta x = %d, want 5", d)
+	}
+	if d := r.CounterDelta(base, "fresh"); d != 1 {
+		t.Fatalf("delta fresh = %d, want 1", d)
+	}
+	if base.Histograms["h"].Count != 1 {
+		t.Fatalf("snapshot histogram count = %d, want 1", base.Histograms["h"].Count)
+	}
+	var sb strings.Builder
+	r.Snapshot().WriteText(&sb)
+	text := sb.String()
+	for _, want := range []string{"counter fresh 1", "counter x 7", "histogram h count=1 sum=9"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("text dump missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestTraceRing(t *testing.T) {
+	for i := 0; i < traceRingCap+5; i++ {
+		tr := NewTrace("q")
+		tr.Span(PhaseExecute, time.Millisecond, 0)
+		tr.Finish(nil)
+	}
+	got := RecentTraces()
+	if len(got) != traceRingCap {
+		t.Fatalf("ring holds %d traces, want %d", len(got), traceRingCap)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].ID <= got[i-1].ID {
+			t.Fatalf("traces not oldest-first at %d: %d then %d", i, got[i-1].ID, got[i].ID)
+		}
+	}
+	last := got[len(got)-1]
+	if len(last.Spans) != 1 || last.Spans[0].Phase != PhaseExecute {
+		t.Fatalf("unexpected spans: %+v", last.Spans)
+	}
+}
+
+func TestHandlerEndpoints(t *testing.T) {
+	Default.Counter("test.handler").Inc()
+	h := Handler()
+
+	for path, want := range map[string]string{
+		"/metrics":             "counter test.handler",
+		"/debug/vars":          "decomine.metrics",
+		"/debug/traces":        "[",
+		"/debug/pprof/":        "goroutine",
+		"/debug/pprof/cmdline": "",
+	} {
+		req := httptest.NewRequest("GET", path, nil)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != 200 {
+			t.Errorf("%s: status %d", path, rec.Code)
+			continue
+		}
+		if want != "" && !strings.Contains(rec.Body.String(), want) {
+			t.Errorf("%s: body missing %q", path, want)
+		}
+	}
+
+	// /debug/vars must be valid JSON with our snapshot inside.
+	req := httptest.NewRequest("GET", "/debug/vars", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	var decoded map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &decoded); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v", err)
+	}
+	if _, ok := decoded["decomine.metrics"]; !ok {
+		t.Fatal("/debug/vars missing decomine.metrics")
+	}
+}

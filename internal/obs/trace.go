@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Query lifecycle phases (paper §7: the compiler enumerates candidate
+// implementations, ranks them with a cost model, lowers the winner to
+// bytecode, and the engine executes it).
+const (
+	PhaseEnumerate = "enumerate"
+	PhaseRank      = "rank"
+	PhaseLower     = "lower"
+	PhaseExecute   = "execute"
+)
+
+// Span is one timed phase of a query.
+type Span struct {
+	Phase    string        `json:"phase"`
+	Duration time.Duration `json:"duration_ns"`
+	// Candidates is the number of candidate plans involved (compile-side
+	// phases; 0 for execute).
+	Candidates int `json:"candidates,omitempty"`
+}
+
+// Trace is the phase record of one query. It is built by the single
+// goroutine driving the query and must not be shared until Finish.
+type Trace struct {
+	ID    uint64        `json:"id"`
+	Name  string        `json:"name"`
+	Begin time.Time     `json:"begin"`
+	Spans []Span        `json:"spans"`
+	Total time.Duration `json:"total_ns"`
+	Err   string        `json:"err,omitempty"`
+}
+
+var traceID atomic.Uint64
+
+// NewTrace starts a trace for a query identified by name (typically the
+// pattern plus the API entry point).
+func NewTrace(name string) *Trace {
+	return &Trace{ID: traceID.Add(1), Name: name, Begin: time.Now()}
+}
+
+// Span appends a completed phase.
+func (t *Trace) Span(phase string, d time.Duration, candidates int) {
+	if t == nil {
+		return
+	}
+	t.Spans = append(t.Spans, Span{Phase: phase, Duration: d, Candidates: candidates})
+}
+
+// Finish stamps the total duration, records err (if any), and publishes
+// the trace to the recent-trace ring exposed by the HTTP endpoint.
+func (t *Trace) Finish(err error) {
+	if t == nil {
+		return
+	}
+	t.Total = time.Since(t.Begin)
+	if err != nil {
+		t.Err = err.Error()
+	}
+	recordTrace(t)
+}
+
+// traceRingCap bounds the memory held by the recent-trace ring.
+const traceRingCap = 64
+
+var (
+	traceMu   sync.Mutex
+	traceRing []*Trace
+	traceNext int
+)
+
+func recordTrace(t *Trace) {
+	traceMu.Lock()
+	defer traceMu.Unlock()
+	if len(traceRing) < traceRingCap {
+		traceRing = append(traceRing, t)
+		return
+	}
+	traceRing[traceNext] = t
+	traceNext = (traceNext + 1) % traceRingCap
+}
+
+// RecentTraces returns the most recently finished query traces, oldest
+// first (up to the ring capacity of 64).
+func RecentTraces() []*Trace {
+	traceMu.Lock()
+	defer traceMu.Unlock()
+	out := make([]*Trace, 0, len(traceRing))
+	out = append(out, traceRing[traceNext:]...)
+	out = append(out, traceRing[:traceNext]...)
+	return out
+}

@@ -103,9 +103,11 @@ func (s *System) emitPlan(p *pattern.Pattern) (*core.Plan, []subInfo, error) {
 	if e, ok := s.planCache[key]; ok {
 		info := s.emitInfo[key]
 		s.mu.Unlock()
+		s.noteCacheHit(e)
 		return e.plan, info, e.err
 	}
 	s.mu.Unlock()
+	s.noteCacheMiss()
 
 	best, _, err := core.Search(p, s.searchOptions(core.ModeEmit, false))
 	if err != nil {

@@ -1,0 +1,207 @@
+package decomine
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"decomine/internal/obs"
+)
+
+// TestPlanCacheCounters asserts the documented counter movement: every
+// compiled-plan lookup moves exactly one of Hits / Misses /
+// NegativeHits, Explain shares the counting cache, and failed searches
+// are served from the negative cache on repeat.
+func TestPlanCacheCounters(t *testing.T) {
+	g := GenerateGNP(60, 0.1, 991)
+	sys := testSystem(t, g)
+	defer sys.Close()
+
+	cyc := MustParsePattern("0-1,1-2,2-3,3-0")
+	if _, err := sys.GetPatternCount(cyc); err != nil {
+		t.Fatal(err)
+	}
+	st := sys.CacheStats()
+	if st.Misses != 1 || st.Hits != 0 || st.NegativeHits != 0 {
+		t.Fatalf("after first count: %+v, want 1 miss only", st)
+	}
+
+	// Same pattern again: a hit, no new search.
+	if _, err := sys.GetPatternCount(cyc); err != nil {
+		t.Fatal(err)
+	}
+	if st = sys.CacheStats(); st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("after repeat count: %+v, want 1 hit / 1 miss", st)
+	}
+
+	// Explain shares the plan cache with the counting APIs
+	// (decomine.go): explaining a mined pattern runs no search.
+	if _, err := sys.Explain(cyc); err != nil {
+		t.Fatal(err)
+	}
+	if st = sys.CacheStats(); st.Hits != 2 || st.Misses != 1 {
+		t.Fatalf("after Explain of cached pattern: %+v, want 2 hits / 1 miss", st)
+	}
+
+	// ...and mining a pattern that was only explained reuses its plan.
+	chain := MustParsePattern("0-1,1-2")
+	if _, err := sys.Explain(chain); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.GetPatternCount(chain); err != nil {
+		t.Fatal(err)
+	}
+	if st = sys.CacheStats(); st.Hits != 3 || st.Misses != 2 {
+		t.Fatalf("after Explain-then-count: %+v, want 3 hits / 2 misses", st)
+	}
+
+	// A pattern with no valid plan: the first lookup runs (and fails)
+	// the search, repeats are negative-cache hits.
+	disc := MustParsePattern("0-1,2-3")
+	for i := 0; i < 3; i++ {
+		if _, err := sys.GetPatternCount(disc); err == nil {
+			t.Fatal("disconnected pattern should fail")
+		}
+	}
+	st = sys.CacheStats()
+	if st.Misses != 3 || st.NegativeHits != 2 {
+		t.Fatalf("after failed searches: %+v, want 3 misses / 2 negative hits", st)
+	}
+	if st.Hits != 3 {
+		t.Fatalf("failed lookups must not count as positive hits: %+v", st)
+	}
+}
+
+// TestCountPatternStats checks the per-run stats attached to a Result:
+// full compile phases on a miss, no compile phases on a hit, and live
+// execution counters either way.
+func TestCountPatternStats(t *testing.T) {
+	g := GenerateGNP(80, 0.1, 992)
+	sys := testSystem(t, g)
+	defer sys.Close()
+
+	p := MustParsePattern("0-1,1-2,2-0")
+	r1, err := sys.CountPattern(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Stats.PlanCacheHit {
+		t.Error("first run should be a cache miss")
+	}
+	phases := map[string]bool{}
+	for _, ph := range r1.Stats.Phases {
+		phases[ph.Phase] = true
+	}
+	for _, want := range []string{obs.PhaseEnumerate, obs.PhaseRank, obs.PhaseLower, obs.PhaseExecute} {
+		if !phases[want] {
+			t.Errorf("first run missing phase %q (got %v)", want, r1.Stats.Phases)
+		}
+	}
+	if r1.Stats.CompileTime <= 0 {
+		t.Error("first run should report compile time")
+	}
+	if r1.Stats.Exec.Instructions <= 0 {
+		t.Errorf("instructions = %d, want > 0", r1.Stats.Exec.Instructions)
+	}
+	if len(r1.Stats.WorkPerThread) == 0 {
+		t.Error("WorkPerThread empty")
+	}
+	if len(r1.Stats.Exec.PerOp) == 0 {
+		t.Error("PerOp empty")
+	}
+
+	r2, err := sys.CountPattern(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.Stats.PlanCacheHit {
+		t.Error("second run should be a cache hit")
+	}
+	if r2.Stats.CompileTime != 0 {
+		t.Errorf("cache hit reported compile time %v", r2.Stats.CompileTime)
+	}
+	if len(r2.Stats.Phases) != 2 {
+		t.Errorf("cache hit phases = %v, want lower+execute only", r2.Stats.Phases)
+	}
+	if r2.Count != r1.Count {
+		t.Errorf("counts differ: %d vs %d", r2.Count, r1.Count)
+	}
+	if r2.Stats.Exec.Instructions != r1.Stats.Exec.Instructions {
+		t.Errorf("instruction counts differ across identical runs: %d vs %d",
+			r2.Stats.Exec.Instructions, r1.Stats.Exec.Instructions)
+	}
+}
+
+// TestPerRunStatsConcurrent is the LastExecStats-race fix check:
+// concurrent queries on one System must each observe their *own*
+// instruction counts (per-opcode totals are deterministic and
+// steal-schedule independent), not a clobbered global snapshot.
+func TestPerRunStatsConcurrent(t *testing.T) {
+	g := GenerateGNP(80, 0.1, 993)
+	names := []string{"chain-3", "clique-3", "cycle-4", "chain-4", "star-4"}
+
+	// Sequential reference run: instructions per pattern.
+	ref := map[string]int64{}
+	refSys := testSystem(t, g)
+	for _, name := range names {
+		p, _ := PatternByName(name)
+		r, err := refSys.CountPattern(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref[name] = r.Stats.Exec.Instructions
+	}
+	refSys.Close()
+
+	sys := testSystem(t, g)
+	defer sys.Close()
+	var wg sync.WaitGroup
+	errs := make(chan error, len(names)*4)
+	for round := 0; round < 4; round++ {
+		for _, name := range names {
+			wg.Add(1)
+			go func(name string) {
+				defer wg.Done()
+				p, _ := PatternByName(name)
+				r, err := sys.CountPattern(p)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if r.Stats.Exec.Instructions != ref[name] {
+					t.Errorf("%s: concurrent run saw %d instructions, sequential reference %d",
+						name, r.Stats.Exec.Instructions, ref[name])
+				}
+			}(name)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestQueryTraces checks that counting queries publish phase traces to
+// the observability ring.
+func TestQueryTraces(t *testing.T) {
+	g := GenerateGNP(50, 0.1, 994)
+	sys := testSystem(t, g)
+	defer sys.Close()
+	p := MustParsePattern("0-1,1-2,2-0,0-3")
+	if _, err := sys.GetPatternCount(p); err != nil {
+		t.Fatal(err)
+	}
+	var found *obs.Trace
+	for _, tr := range obs.RecentTraces() {
+		if strings.HasPrefix(tr.Name, "count:") && strings.Contains(tr.Name, "0-3") {
+			found = tr
+		}
+	}
+	if found == nil {
+		t.Fatal("no trace recorded for the query")
+	}
+	if len(found.Spans) < 3 {
+		t.Fatalf("trace spans = %+v, want enumerate/rank/lower/execute", found.Spans)
+	}
+}

@@ -1,0 +1,109 @@
+package decomine
+
+import (
+	"time"
+
+	"decomine/internal/ast"
+	"decomine/internal/core"
+	"decomine/internal/engine"
+	"decomine/internal/obs"
+)
+
+// PhaseSpan is one timed phase of a query's lifecycle: "enumerate"
+// (candidate generation + middle-end optimization), "rank" (cost-model
+// evaluation), "lower" (bytecode lowering + arena planning; ~0 for a
+// cached plan), and "execute".
+type PhaseSpan struct {
+	Phase    string
+	Duration time.Duration
+	// Candidates is the number of candidate plans involved (compile-side
+	// phases only).
+	Candidates int
+}
+
+// QueryStats is the per-run observability record attached to a Result.
+// Unlike the deprecated System.LastExecStats snapshot, these fields
+// belong to exactly one run: concurrent queries on a shared System each
+// get their own.
+type QueryStats struct {
+	// Exec carries this run's bytecode execution counters (instructions,
+	// per-opcode counts, steals, splits).
+	Exec ExecStats
+	// WorkPerThread is this run's per-worker executed instruction count
+	// (outer-loop iterations under the tree-walker); max/mean of it is
+	// the load-balance signal.
+	WorkPerThread []int64
+	// Phases are the timed lifecycle spans, in execution order. Compile
+	// phases are present only when this query ran the algorithm search
+	// (i.e. PlanCacheHit is false).
+	Phases []PhaseSpan
+	// CompileTime is enumerate+rank time (0 on a plan-cache hit) and
+	// ExecTime the engine wall time — the Figure 18 split.
+	CompileTime time.Duration
+	ExecTime    time.Duration
+	// PlanCacheHit reports that the plan was served from the cache.
+	PlanCacheHit bool
+}
+
+// Result is a counting query's outcome plus its per-run stats.
+type Result struct {
+	// Count is the number of edge-induced embeddings.
+	Count int64
+	Stats QueryStats
+}
+
+// execStatsFromResult converts an engine result's counters to the
+// public ExecStats form.
+func execStatsFromResult(res *engine.Result) ExecStats {
+	st := ExecStats{PerOp: map[string]int64{}}
+	for op, c := range res.OpCounts {
+		if c != 0 {
+			st.PerOp[ast.OpCode(op).String()] = c
+			st.Instructions += c
+		}
+	}
+	st.Steals = res.Steals
+	st.Splits = res.Splits
+	return st
+}
+
+// CountPattern returns the number of edge-induced embeddings of p
+// together with this run's stats: plan-cache outcome, compile phase
+// spans (on a miss), lowering time, execution time, and the engine's
+// instruction/steal counters. It is GetPatternCount with per-run
+// observability; both share the plan cache.
+func (s *System) CountPattern(p *Pattern) (*Result, error) {
+	tr := obs.NewTrace("count:" + p.String())
+	e, hit, err := s.planFull(p.p, core.ModeCount, false)
+	if err != nil {
+		tr.Finish(err)
+		return nil, err
+	}
+	out := &Result{}
+	st := &out.Stats
+	st.PlanCacheHit = hit
+	if !hit {
+		st.Phases = append(st.Phases,
+			PhaseSpan{Phase: obs.PhaseEnumerate, Duration: e.stats.EnumerateTime, Candidates: e.stats.Candidates},
+			PhaseSpan{Phase: obs.PhaseRank, Duration: e.stats.RankTime, Candidates: e.stats.Candidates})
+		st.CompileTime = e.stats.EnumerateTime + e.stats.RankTime
+		tr.Span(obs.PhaseEnumerate, e.stats.EnumerateTime, e.stats.Candidates)
+		tr.Span(obs.PhaseRank, e.stats.RankTime, e.stats.Candidates)
+	}
+	count, res, lowerDur, err := s.runStats(e.plan, nil)
+	if err != nil {
+		tr.Finish(err)
+		return nil, err
+	}
+	st.Phases = append(st.Phases,
+		PhaseSpan{Phase: obs.PhaseLower, Duration: lowerDur},
+		PhaseSpan{Phase: obs.PhaseExecute, Duration: res.Elapsed})
+	tr.Span(obs.PhaseLower, lowerDur, 0)
+	tr.Span(obs.PhaseExecute, res.Elapsed, 0)
+	st.ExecTime = res.Elapsed
+	st.Exec = execStatsFromResult(res)
+	st.WorkPerThread = append([]int64(nil), res.WorkPerThread...)
+	out.Count = count
+	tr.Finish(nil)
+	return out, nil
+}
