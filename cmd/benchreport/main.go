@@ -52,10 +52,17 @@ func main() {
 	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 
 	for _, w := range rep.Workloads {
-		fmt.Printf("%-26s count=%-12d %8.3g insn/s  balance=%.2f  cache=%.0f%%  compile=%.0f%%  wall=%s\n",
+		fmt.Printf("%-26s count=%-12d %8.3g insn/s  balance=%.2f  cache=%.0f%%  compile=%.0f%%  wall=%s",
 			w.Name, w.Count, w.Throughput, w.Balance.MaxOverMean,
 			w.Cache.HitRate*100, w.CompileFrac*100,
 			time.Duration(w.WallNS).Round(time.Millisecond))
+		if bm := w.Kernels["bitmap"] + w.Kernels["bitmap-count"]; bm > 0 {
+			fmt.Printf("  bitmap-kernels=%d", bm)
+		}
+		if w.HubSpeedup > 0 {
+			fmt.Printf("  hub-speedup=%.2fx", w.HubSpeedup)
+		}
+		fmt.Println()
 	}
 
 	if *baseline == "" {

@@ -78,6 +78,11 @@ type Options struct {
 	// profiler (defaults 200k edges, 30k walks).
 	ProfileSampleEdges int
 	ProfileTrials      int
+	// DisableHubIndex keeps plan execution off the graph's hub bitmap
+	// index, forcing the sorted-array set kernels everywhere. Plans and
+	// instruction counts are unaffected; results are bit-identical. Used
+	// for differential testing and speedup measurement.
+	DisableHubIndex bool
 	// Seed fixes all randomized choices.
 	Seed int64
 	// Interpreter selects the execution engine (InterpreterVM when
@@ -116,9 +121,10 @@ type System struct {
 	// search+generation (Figure 18).
 	LastCompileTime time.Duration
 
-	lastOpCounts []int64
-	lastSteals   int64
-	lastSplits   int64
+	lastOpCounts     []int64
+	lastKernelCounts []int64
+	lastSteals       int64
+	lastSplits       int64
 
 	// Plan-cache counters (see CacheStats). Kept as atomics so the hot
 	// cache-hit path does not lengthen its critical section.
@@ -203,7 +209,11 @@ func (s *System) prepared(code *ast.Lowered) *engine.Prepared {
 	}
 	p, ok := s.prepCache[code]
 	if !ok {
-		p = engine.Prepare(s.graph.g, code)
+		if s.opts.DisableHubIndex {
+			p = engine.PrepareNoHub(s.graph.g, code)
+		} else {
+			p = engine.Prepare(s.graph.g, code)
+		}
 		s.prepCache[code] = p
 	}
 	return p
@@ -220,6 +230,7 @@ func (s *System) execOptions(plan *core.Plan) engine.Options {
 		Code:        code,
 		Pool:        s.enginePool(),
 		Prepared:    s.prepared(code),
+		DisableHub:  s.opts.DisableHubIndex,
 	}
 }
 
@@ -381,6 +392,7 @@ func (s *System) planCode(plan *core.Plan) *ast.Lowered {
 func (s *System) noteExecStats(res *engine.Result) {
 	s.mu.Lock()
 	s.lastOpCounts = res.OpCounts
+	s.lastKernelCounts = res.KernelCounts
 	s.lastSteals = res.Steals
 	s.lastSplits = res.Splits
 	s.mu.Unlock()
@@ -393,6 +405,11 @@ type ExecStats struct {
 	// PerOp maps opcode mnemonics (e.g. "set", "loop.next") to execution
 	// counts; zero-count opcodes are omitted.
 	PerOp map[string]int64
+	// Kernels maps set-kernel path names ("merge", "gallop", "bitmap",
+	// "bitmap-count") to the number of intersect/subtract dispatches
+	// each served; zero-count paths are omitted. The bitmap paths are
+	// nonzero only when the graph carries a hub bitmap index.
+	Kernels map[string]int64
 	// Steals counts loop ranges taken from another worker's deque by the
 	// work-stealing scheduler, and Splits counts depth-1 subranges shed
 	// by workers executing heavy outer iterations. Zero for sequential
@@ -418,6 +435,14 @@ func (s *System) LastExecStats() ExecStats {
 		if c != 0 {
 			st.PerOp[ast.OpCode(op).String()] = c
 			st.Instructions += c
+		}
+	}
+	for k, c := range s.lastKernelCounts {
+		if c != 0 {
+			if st.Kernels == nil {
+				st.Kernels = map[string]int64{}
+			}
+			st.Kernels[engine.KernelNames[k]] = c
 		}
 	}
 	st.Steals = s.lastSteals

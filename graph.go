@@ -121,6 +121,26 @@ func (g *Graph) Label(v uint32) uint32 { return g.g.Label(v) }
 // HasEdge reports whether {u,v} is an edge.
 func (g *Graph) HasEdge(u, v uint32) bool { return g.g.HasEdge(u, v) }
 
+// MaxDegree returns the largest vertex degree (cached at build time).
+func (g *Graph) MaxDegree() int { return g.g.MaxDegree() }
+
+// AvgDegree returns the average vertex degree 2|E|/|V| (cached at build
+// time).
+func (g *Graph) AvgDegree() float64 { return g.g.AvgDegree() }
+
+// BuildHubIndex (re)builds the graph's hub bitmap index — packed
+// adjacency bitmaps for every vertex of degree >= minDegree, consulted
+// by the VM's intersect/subtract dispatch to replace sorted-array
+// merges with O(min) bitmap filters. minDegree <= 0 selects the default
+// threshold max(256, 8·AvgDegree). Graphs whose maximum degree reaches
+// the default threshold are indexed automatically at build time; call
+// this to lower the threshold on mildly skewed graphs or to widen
+// coverage. Returns g for chaining.
+func (g *Graph) BuildHubIndex(minDegree int) *Graph {
+	g.g.BuildHubIndex(minDegree)
+	return g
+}
+
 // String summarizes the graph.
 func (g *Graph) String() string { return g.g.String() }
 

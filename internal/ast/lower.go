@@ -117,6 +117,15 @@ type Instr struct {
 	// LoopID is the dense loop index used for per-frame iteration state.
 	LoopID int32
 
+	// NbrA/NbrB, on ISetDef OpIntersect/OpSubtract and ICount, name the
+	// vertex variable whose OpNeighbors definition produced set operand
+	// A/B (-1 when the operand is not a plain neighbor set). The engine
+	// uses them to look up hub bitmap rows at dispatch time: registers
+	// are SSA and the defining variable is stable between the def and
+	// every use, so operand A IS Neighbors(vars[NbrA]) whenever NbrA >= 0.
+	NbrA int32
+	NbrB int32
+
 	Imm int64
 }
 
@@ -218,9 +227,45 @@ func Lower(p *Program) *Lowered {
 		l.Segments = append(l.Segments, seg)
 	}
 	l.fuseCounts()
+	l.annotateNeighborOperands()
 	obsLowerings.Inc()
 	obsCodeLen.Observe(int64(len(l.Code)))
 	return l
+}
+
+// annotateNeighborOperands fills Instr.NbrA/NbrB on the intersect/
+// subtract family (including fused counts): the vertex variable whose
+// OpNeighbors definition is the operand's single SSA def site, or -1.
+// Runs after fuseCounts so annotations land on the surviving
+// instructions (fusion deletes intersections and trims, never the
+// OpNeighbors defs they read).
+func (l *Lowered) annotateNeighborOperands() {
+	nbrVar := map[int32]int32{}
+	for i := range l.Code {
+		ins := &l.Code[i]
+		if ins.Op == ISetDef && ins.Set == OpNeighbors {
+			nbrVar[ins.Dst] = ins.V
+		}
+	}
+	lookup := func(reg int32) int32 {
+		if v, ok := nbrVar[reg]; ok {
+			return v
+		}
+		return -1
+	}
+	for i := range l.Code {
+		ins := &l.Code[i]
+		switch {
+		case ins.Op == ISetDef && (ins.Set == OpIntersect || ins.Set == OpSubtract):
+			ins.NbrA, ins.NbrB = lookup(ins.A), lookup(ins.B)
+		case ins.Op == ICount:
+			ins.NbrA = lookup(ins.A)
+			ins.NbrB = -1
+			if ins.B >= 0 {
+				ins.NbrB = lookup(ins.B)
+			}
+		}
+	}
 }
 
 // setReads appends the set registers read by instruction ins to dst.

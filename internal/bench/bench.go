@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"decomine"
+	"decomine/internal/engine"
 	"decomine/internal/obs"
 )
 
@@ -72,6 +73,16 @@ type Workload struct {
 	CompileFrac float64 `json:"compile_frac"`
 	Balance     Balance `json:"worker_balance"`
 	Cache       Cache   `json:"cache"`
+	// Kernels is the engine.kernel.* registry delta: how many
+	// intersect/subtract dispatches each set-kernel path served. Like
+	// Instructions it is seed-determined; the bitmap paths are nonzero
+	// only for workloads whose graph carries a hub bitmap index.
+	Kernels map[string]int64 `json:"kernels,omitempty"`
+	// HubSpeedup, for hub-comparison workloads, is this workload's
+	// engine throughput divided by the throughput of an identical run
+	// with the hub index disabled (>1 means the hybrid data plane won).
+	// Host-dependent; reported, not gated.
+	HubSpeedup float64 `json:"hub_speedup,omitempty"`
 }
 
 // Report is the machine-readable suite outcome written to
@@ -87,11 +98,14 @@ type Report struct {
 }
 
 // workloadSpec is one suite entry: a graph to build and a query to run
-// (twice) against it.
+// (twice) against it. hubCompare additionally re-runs the query with
+// the hub bitmap index disabled to measure the hybrid data plane's
+// speedup (and cross-check the counts).
 type workloadSpec struct {
-	name  string
-	graph func(cfg Config) *decomine.Graph
-	run   func(sys *decomine.System) (int64, error)
+	name       string
+	graph      func(cfg Config) *decomine.Graph
+	run        func(sys *decomine.System) (int64, error)
+	hubCompare bool
 }
 
 func gnp(n int, p float64, seed int64) func(Config) *decomine.Graph {
@@ -111,19 +125,30 @@ func motifs(k int) func(*decomine.System) (int64, error) {
 func suite(cfg Config) []workloadSpec {
 	if cfg.Short {
 		return []workloadSpec{
-			{"motif5-gnp", gnp(220, 0.03, cfg.Seed), motifs(5)},
-			{"motif6-gnp", gnp(110, 0.04, cfg.Seed+1), motifs(6)},
-			{"motif5-rmat", rmat(8, 6, cfg.Seed+2), motifs(5)},
-			{"fsm-gnp-labeled", labeledGNP(300, 0.02, 3, cfg.Seed+3), fsm(40, 2)},
-			{"constrained-rmat-labeled", labeledRMAT(9, 6, 4, cfg.Seed+4), constrainedCycle()},
+			{name: "motif5-gnp", graph: gnp(220, 0.03, cfg.Seed), run: motifs(5)},
+			{name: "motif6-gnp", graph: gnp(110, 0.04, cfg.Seed+1), run: motifs(6)},
+			{name: "motif5-rmat", graph: rmat(8, 6, cfg.Seed+2), run: motifs(5)},
+			{name: "fsm-gnp-labeled", graph: labeledGNP(300, 0.02, 3, cfg.Seed+3), run: fsm(40, 2)},
+			{name: "constrained-rmat-labeled", graph: labeledRMAT(9, 6, 4, cfg.Seed+4), run: constrainedCycle()},
+			{name: "motif5-hub-rmat", graph: hubRMAT(9, 8, 48, cfg.Seed+5), run: motifs(5), hubCompare: true},
 		}
 	}
 	return []workloadSpec{
-		{"motif5-gnp", gnp(600, 0.02, cfg.Seed), motifs(5)},
-		{"motif6-gnp", gnp(240, 0.025, cfg.Seed+1), motifs(6)},
-		{"motif5-rmat", rmat(11, 8, cfg.Seed+2), motifs(5)},
-		{"fsm-gnp-labeled", labeledGNP(800, 0.012, 4, cfg.Seed+3), fsm(60, 3)},
-		{"constrained-rmat-labeled", labeledRMAT(11, 8, 4, cfg.Seed+4), constrainedCycle()},
+		{name: "motif5-gnp", graph: gnp(600, 0.02, cfg.Seed), run: motifs(5)},
+		{name: "motif6-gnp", graph: gnp(240, 0.025, cfg.Seed+1), run: motifs(6)},
+		{name: "motif5-rmat", graph: rmat(11, 8, cfg.Seed+2), run: motifs(5)},
+		{name: "fsm-gnp-labeled", graph: labeledGNP(800, 0.012, 4, cfg.Seed+3), run: fsm(60, 3)},
+		{name: "constrained-rmat-labeled", graph: labeledRMAT(11, 8, 4, cfg.Seed+4), run: constrainedCycle()},
+		{name: "motif5-hub-rmat", graph: hubRMAT(11, 8, 64, cfg.Seed+5), run: motifs(5), hubCompare: true},
+	}
+}
+
+// hubRMAT builds the skewed-hub workload graph: a power-law R-MAT whose
+// heavy tail is indexed as hub bitmaps with an explicitly low degree
+// threshold (the CI-scale graphs never reach the automatic default).
+func hubRMAT(scale, ef, minDegree int, seed int64) func(Config) *decomine.Graph {
+	return func(Config) *decomine.Graph {
+		return decomine.GenerateRMAT(scale, ef, seed).BuildHubIndex(minDegree)
 	}
 }
 
@@ -254,5 +279,62 @@ func runWorkload(cfg Config, spec workloadSpec) (Workload, error) {
 	if lookups := w.Cache.Hits + w.Cache.Misses + w.Cache.NegativeHits; lookups > 0 {
 		w.Cache.HitRate = float64(w.Cache.Hits) / float64(lookups)
 	}
+	for _, name := range engine.KernelNames {
+		if d := reg.CounterDelta(base, "engine.kernel."+name); d != 0 {
+			if w.Kernels == nil {
+				w.Kernels = map[string]int64{}
+			}
+			w.Kernels[name] = d
+		}
+	}
+	if spec.hubCompare {
+		if err := runHubComparison(cfg, spec, g, &w); err != nil {
+			return Workload{}, err
+		}
+	}
 	return w, nil
+}
+
+// runHubComparison re-runs spec's query on the same graph with the hub
+// bitmap index disabled, cross-checks the count, and records the hybrid
+// data plane's throughput ratio. The no-hub run executes the identical
+// plan and instruction stream (the cost model sees the same graph
+// stats), so the ratio is a pure set-kernel speedup.
+func runHubComparison(cfg Config, spec workloadSpec, g *decomine.Graph, w *Workload) error {
+	sys := decomine.NewSystem(g, decomine.Options{
+		Threads:            cfg.Threads,
+		Seed:               cfg.Seed,
+		ProfileSampleEdges: 20000,
+		ProfileTrials:      4000,
+		MaxCandidates:      64,
+		DisableHubIndex:    true,
+	})
+	defer sys.Close()
+
+	reg := obs.Default
+	base := reg.Snapshot()
+	count, err := spec.run(sys)
+	if err != nil {
+		return err
+	}
+	if again, err := spec.run(sys); err != nil {
+		return err
+	} else if again != count {
+		return fmt.Errorf("no-hub cached re-run disagrees: %d vs %d", again, count)
+	}
+	if count != w.Count {
+		return fmt.Errorf("no-hub run disagrees with hub run: %d vs %d", count, w.Count)
+	}
+	instr := reg.CounterDelta(base, "engine.instructions")
+	execNS := reg.CounterDelta(base, "engine.exec_ns")
+	if instr != w.Instructions {
+		return fmt.Errorf("no-hub run executed %d instructions, hub run %d: plans diverged", instr, w.Instructions)
+	}
+	if execNS > 0 && w.Throughput > 0 {
+		noHub := float64(instr) / (float64(execNS) / 1e9)
+		if noHub > 0 {
+			w.HubSpeedup = w.Throughput / noHub
+		}
+	}
+	return nil
 }

@@ -91,6 +91,30 @@ func TestCompareShortExecNeverFailsOnThroughput(t *testing.T) {
 	}
 }
 
+func TestCompareKernelDrift(t *testing.T) {
+	base := tinyReport()
+	base.Workloads[0].Kernels = map[string]int64{"merge": 10, "bitmap": 5}
+	cur := tinyReport()
+	cur.Workloads[0].Kernels = map[string]int64{"merge": 10, "bitmap": 5}
+	if g := Compare(cur, base, 0.25); !g.OK() {
+		t.Fatalf("identical kernel counters should gate clean: %v", g.Failures)
+	}
+	cur.Workloads[0].Kernels["bitmap"] = 4
+	if g := Compare(cur, base, 0.25); g.OK() {
+		t.Fatal("kernel-counter drift must fail")
+	}
+	// A key vanishing entirely (router stopped picking a kernel) fails too.
+	delete(cur.Workloads[0].Kernels, "bitmap")
+	if g := Compare(cur, base, 0.25); g.OK() {
+		t.Fatal("dropped kernel counter must fail")
+	}
+	// Old baselines without kernel counters are tolerated.
+	base.Workloads[0].Kernels = nil
+	if g := Compare(cur, base, 0.25); !g.OK() {
+		t.Fatalf("nil baseline kernels must be tolerated: %v", g.Failures)
+	}
+}
+
 func TestCompareConfigMismatch(t *testing.T) {
 	cur := tinyReport()
 	cur.Threads = 8
@@ -138,5 +162,28 @@ func TestRunWorkload(t *testing.T) {
 	}
 	if w.CompileNS <= 0 || w.ExecNS <= 0 {
 		t.Fatalf("compile=%d exec=%d ns, want > 0", w.CompileNS, w.ExecNS)
+	}
+}
+
+// TestRunHubWorkload runs a small hub-indexed workload and checks the
+// kernel counters and the hub-vs-no-hub comparison plumbing: the bitmap
+// path must fire, the no-hub rerun must agree on counts and plans, and
+// the speedup ratio must be populated.
+func TestRunHubWorkload(t *testing.T) {
+	cfg := Config{Short: true, Threads: 2, Seed: 42}
+	w, err := runWorkload(cfg, workloadSpec{
+		name:       "hub-smoke",
+		graph:      hubRMAT(8, 8, 32, 3),
+		run:        motifs(4),
+		hubCompare: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Kernels["bitmap"]+w.Kernels["bitmap-count"] == 0 {
+		t.Fatalf("kernels = %v, want bitmap dispatches on a hub-indexed graph", w.Kernels)
+	}
+	if w.HubSpeedup <= 0 {
+		t.Fatalf("hub speedup = %v, want > 0", w.HubSpeedup)
 	}
 }

@@ -83,6 +83,22 @@ func Compare(cur, base *Report, tol float64) Gate {
 			c.Cache.NegativeHits != b.Cache.NegativeHits {
 			g.failf("%s: cache counters %+v != baseline %+v", b.Name, c.Cache, b.Cache)
 		}
+		// Kernel-path dispatch counts are seed-determined like
+		// instruction totals: drift means the kernel router (or the hub
+		// index build) changed behavior. Baselines predating the counters
+		// (nil map) are tolerated.
+		if b.Kernels != nil {
+			for k, bc := range b.Kernels {
+				if cc := c.Kernels[k]; cc != bc {
+					g.failf("%s: kernel %s dispatches %d != baseline %d", b.Name, k, cc, bc)
+				}
+			}
+			for k, cc := range c.Kernels {
+				if _, ok := b.Kernels[k]; !ok {
+					g.failf("%s: kernel %s dispatches %d not in baseline", b.Name, k, cc)
+				}
+			}
+		}
 		if b.Throughput > 0 && c.Throughput > 0 && curRate > 0 && baseRate > 0 {
 			if b.ExecNS >= minGateExecNS {
 				cNorm, bNorm := c.Throughput/curRate, b.Throughput/baseRate

@@ -29,6 +29,12 @@ type GraphStats struct {
 	N      float64 // |V|
 	AvgDeg float64 // 2|E|/|V|
 	Labels float64 // number of distinct labels (1 if unlabeled)
+	// HubProb is the fraction of adjacency covered by the graph's hub
+	// bitmap index (hub degree sum / 2|E|), i.e. the degree-weighted
+	// probability that a neighbor-set operand of an intersection has a
+	// bitmap row and the VM takes an O(min) kernel instead of an
+	// O(a+b) merge. Zero when the graph has no hub index.
+	HubProb float64
 }
 
 // P returns the uniform connection probability AvgDeg/N used by the
@@ -46,7 +52,13 @@ func StatsOf(g *graph.Graph) GraphStats {
 	if labels < 1 {
 		labels = 1
 	}
-	return GraphStats{N: float64(g.NumVertices()), AvgDeg: g.AvgDegree(), Labels: labels}
+	st := GraphStats{N: float64(g.NumVertices()), AvgDeg: g.AvgDegree(), Labels: labels}
+	if ix := g.HubIndex(); ix != nil {
+		if m2 := st.N * st.AvgDeg; m2 > 0 {
+			st.HubProb = float64(ix.CoveredDegree()) / m2
+		}
+	}
+	return st
 }
 
 // Model estimates plan execution cost.
@@ -220,6 +232,23 @@ func (e *estimator) walk(body []*ast.Node, iters, prefCount float64) {
 	}
 }
 
+// hubProbOf returns the probability that at least one of the two
+// intersect operands carries a hub bitmap row: only neighbor-derived
+// sets can, each independently with probability HubProb.
+func (e *estimator) hubProbOf(a, b int) float64 {
+	p := e.st.HubProb
+	if p <= 0 {
+		return 0
+	}
+	switch {
+	case e.fromNbr[a] && e.fromNbr[b]:
+		return 1 - (1-p)*(1-p)
+	case e.fromNbr[a] || e.fromNbr[b]:
+		return p
+	}
+	return 0
+}
+
 func (e *estimator) defineSet(n *ast.Node, iters float64) {
 	var sz float64
 	var nb bool
@@ -232,7 +261,14 @@ func (e *estimator) defineSet(n *ast.Node, iters float64) {
 		a, b := e.size[n.A], e.size[n.B]
 		sz = e.intersect(a, b, e.fromNbr[n.A], e.fromNbr[n.B])
 		nb = e.fromNbr[n.A] || e.fromNbr[n.B]
-		e.cost += iters * (a + b) // merge cost
+		// Kernel-aware merge cost: with probability HubProb a
+		// neighbor-derived operand has a hub bitmap row and the VM runs
+		// the O(min) array×bitmap filter instead of the O(a+b) merge.
+		if p := e.hubProbOf(n.A, n.B); p > 0 {
+			e.cost += iters * (p*math.Min(a, b) + (1-p)*(a+b))
+		} else {
+			e.cost += iters * (a + b) // merge cost
+		}
 	case ast.OpSubtract:
 		a, b := e.size[n.A], e.size[n.B]
 		frac := 1 - b/math.Max(e.st.N, 1)
@@ -240,7 +276,14 @@ func (e *estimator) defineSet(n *ast.Node, iters float64) {
 			frac = 0.05
 		}
 		sz, nb = a*frac, e.fromNbr[n.A]
-		e.cost += iters * (a + b)
+		// A hub row on the subtrahend turns the O(a+b) merge into an
+		// O(a) probe filter.
+		if e.fromNbr[n.B] && e.st.HubProb > 0 {
+			p := e.st.HubProb
+			e.cost += iters * (p*a + (1-p)*(a+b))
+		} else {
+			e.cost += iters * (a + b)
+		}
 	case ast.OpRemove:
 		sz, nb = math.Max(e.size[n.A]-1, 0), e.fromNbr[n.A]
 		e.cost += iters * e.size[n.A]

@@ -28,6 +28,16 @@ var (
 	obsWorkerSplit = obs.Default.Histogram("engine.worker.splits")
 )
 
+// obsKernels[k] accumulates kernel-path dispatch counts
+// ("engine.kernel.<name>") across runs, one Add per run.
+var obsKernels = func() [NumKernels]*obs.Counter {
+	var cs [NumKernels]*obs.Counter
+	for k, name := range KernelNames {
+		cs[k] = obs.Default.Counter("engine.kernel." + name)
+	}
+	return cs
+}()
+
 // workerInstrCounter returns the per-slot instruction counter
 // "engine.worker.instructions.<t>". Slot handles are cached so the
 // per-run cost is one mutex-protected slice read.
@@ -128,6 +138,12 @@ type Options struct {
 	Prepared *Prepared
 	// Sched selects the parallel driver (SchedSteal by default).
 	Sched Sched
+	// DisableHub keeps the VM's intersect/subtract dispatch off the
+	// graph's hub bitmap index even when one exists, forcing the sorted
+	// array kernels. Used for differential testing and for measuring the
+	// hybrid data plane's speedup; plans and instruction counts are
+	// unaffected (the cost model does not consult this option).
+	DisableHub bool
 }
 
 // Result carries the merged global accumulators and execution metadata.
@@ -144,6 +160,11 @@ type Result struct {
 	// OpCounts[op] counts executed bytecode instructions per ast.OpCode,
 	// merged across workers. Nil under the tree-walking interpreter.
 	OpCounts []int64
+	// KernelCounts[k] counts intersect/subtract dispatches per
+	// kernel path (see KernelMerge..KernelBitmapCount and KernelNames),
+	// merged across workers and independent of the steal schedule. Nil
+	// under the tree-walking interpreter.
+	KernelCounts []int64
 	// Steals counts loop ranges taken from another worker's deque, and
 	// Splits counts depth-1 subranges shed as stealable tasks by
 	// workers executing heavy outer iterations. Both are zero under
@@ -264,14 +285,18 @@ func Run(g *graph.Graph, prog *ast.Program, opts Options) (*Result, error) {
 	var master runner
 	if useVM {
 		var sh *vmShared
-		if opts.Prepared.matches(g, prog) {
+		if opts.Prepared.matches(g, prog, opts.DisableHub) {
 			sh = opts.Prepared.sh
 		} else {
 			bc := opts.Code
 			if bc == nil || bc.Prog != prog {
 				bc = ast.Lower(prog)
 			}
-			sh = newVMShared(g, bc)
+			hub := g.HubIndex()
+			if opts.DisableHub {
+				hub = nil
+			}
+			sh = newVMShared(g, bc, hub)
 		}
 		master = sh.getFrame()
 	} else {
@@ -456,6 +481,11 @@ func Run(g *graph.Graph, prog *ast.Program, opts Options) (*Result, error) {
 	}
 	if useVM {
 		obsInstr.Add(res.InstructionsExecuted())
+		for k, c := range res.KernelCounts {
+			if c != 0 {
+				obsKernels[k].Add(c)
+			}
+		}
 		for t, w := range res.WorkPerThread {
 			obsWorkerInstr.Observe(w)
 			workerInstrCounter(t).Add(w)

@@ -18,6 +18,23 @@ import (
 	"decomine/internal/vset"
 )
 
+// Kernel-path indices for the per-run counters (Result.KernelCounts):
+// which data-plane kernel the VM's intersect/subtract dispatch chose.
+// KernelBitmap is the array×bitmap filter (materializing or counting)
+// through a hub's adjacency row; KernelBitmapCount is the bitmap×bitmap
+// popcount (vset.AndCount) when both operands are hub rows.
+const (
+	KernelMerge = iota
+	KernelGallop
+	KernelBitmap
+	KernelBitmapCount
+	NumKernels
+)
+
+// KernelNames maps kernel-path indices to the names used in the obs
+// registry ("engine.kernel.<name>") and in bench reports.
+var KernelNames = [NumKernels]string{"merge", "gallop", "bitmap", "bitmap-count"}
+
 // vmShared is the per-program immutable state shared by every worker
 // frame: the bytecode, the graph, the identity vertex slice backing
 // OpAll registers, the arena capacity plan for the set buffers, and the
@@ -27,6 +44,10 @@ import (
 type vmShared struct {
 	g  *graph.Graph
 	bc *ast.Lowered
+	// hub is the graph's hub bitmap index captured at preparation time
+	// (nil when the graph has no hubs or Options.DisableHub was set);
+	// the intersect/subtract dispatch consults it per instruction.
+	hub *graph.HubIndex
 	// allVerts is the shared read-only identity slice aliased by every
 	// OpAll register (nil when the program defines none).
 	allVerts []uint32
@@ -130,9 +151,9 @@ func analyzeD1(bc *ast.Lowered) []d1Info {
 	return out
 }
 
-func newVMShared(g *graph.Graph, bc *ast.Lowered) *vmShared {
+func newVMShared(g *graph.Graph, bc *ast.Lowered, hub *graph.HubIndex) *vmShared {
 	prog := bc.Prog
-	sh := &vmShared{g: g, bc: bc, bufCap: make([]int, prog.NumSets)}
+	sh := &vmShared{g: g, bc: bc, hub: hub, bufCap: make([]int, prog.NumSets)}
 	n := g.NumVertices()
 	maxDeg := g.MaxDegree()
 	// Static size bounds per set register. Definitions are SSA (one def
@@ -210,6 +231,13 @@ type vmFrame struct {
 
 	// opCounts[op] counts executed instructions per opcode.
 	opCounts [ast.NumOpcodes]int64
+	// kernelCounts[k] counts intersect/subtract dispatches per kernel
+	// path (merge/gallop/bitmap/bitmap-count). mute suspends counting
+	// while a thief re-derives a prefix the owner already executed, so
+	// totals stay independent of the steal schedule (same discipline as
+	// OpCounts and execPrefix).
+	kernelCounts [NumKernels]int64
+	mute         bool
 
 	// cancel, when non-nil, is polled by the dispatch loop every
 	// cancelCheckInterval instructions; cancelHit records that an
@@ -323,7 +351,7 @@ func (f *vmFrame) exec(start, end int32) bool {
 				// Alias the CSR adjacency directly: zero copies.
 				sets[ins.Dst] = g.Neighbors(vars[ins.V])
 			case ast.OpIntersect:
-				d := vset.Intersect(f.bufs[ins.Dst], sets[ins.A], sets[ins.B])
+				d := f.intersectInto(f.bufs[ins.Dst], sets[ins.A], sets[ins.B], ins.NbrA, ins.NbrB)
 				f.bufs[ins.Dst] = d
 				sets[ins.Dst] = d
 			case ast.OpTrimAbove:
@@ -391,6 +419,108 @@ func (f *vmFrame) exec(start, end int32) bool {
 	return true
 }
 
+// --- hybrid set-kernel dispatch ---
+
+// hubRow returns the hub bitmap row backing a neighbor-set operand:
+// non-nil only when the operand is a plain OpNeighbors register (nbr is
+// its defining vertex variable, from ast's NbrA/NbrB annotation) and
+// that vertex is a hub of the prepared index.
+func (f *vmFrame) hubRow(nbr int32) []uint64 {
+	if nbr < 0 || f.sh.hub == nil {
+		return nil
+	}
+	return f.sh.hub.Row(f.vars[nbr])
+}
+
+// noteKernel attributes one intersect/subtract dispatch to a kernel
+// path, unless this frame is replaying a stolen prefix.
+func (f *vmFrame) noteKernel(k int) {
+	if !f.mute {
+		f.kernelCounts[k]++
+	}
+}
+
+// intersectInto evaluates a∩b into dst through the cheapest kernel.
+// Filtering the smaller array through the other operand's hub bitmap
+// row costs O(min) word probes — beating both merge (O(la+lb)) and
+// galloping (O(min·log max)) — so it wins whenever the row exists. When
+// only the smaller operand has a row, filtering the larger array
+// through it (O(max)) still beats merge but loses to galloping once
+// max ≥ GallopThreshold·min, the same ratio vset.Intersect switches at.
+func (f *vmFrame) intersectInto(dst, a, b []uint32, nbrA, nbrB int32) []uint32 {
+	if f.sh.hub != nil {
+		rowA, rowB := f.hubRow(nbrA), f.hubRow(nbrB)
+		if len(a) > len(b) {
+			a, b, rowA, rowB = b, a, rowB, rowA
+		}
+		if rowB != nil {
+			f.noteKernel(KernelBitmap)
+			return vset.IntersectBitmap(dst, a, rowB)
+		}
+		if rowA != nil && len(b) < len(a)*vset.GallopThreshold {
+			f.noteKernel(KernelBitmap)
+			return vset.IntersectBitmap(dst, b, rowA)
+		}
+	}
+	if vset.Gallops(a, b) {
+		f.noteKernel(KernelGallop)
+	} else {
+		f.noteKernel(KernelMerge)
+	}
+	return vset.Intersect(dst, a, b)
+}
+
+// subtractInto evaluates a\b into dst: O(|a|) word probes through b's
+// hub row when it has one, the linear merge otherwise. (Operand A's row
+// never helps — the output enumerates a regardless.)
+func (f *vmFrame) subtractInto(dst, a, b []uint32, nbrB int32) []uint32 {
+	if rowB := f.hubRow(nbrB); rowB != nil {
+		f.noteKernel(KernelBitmap)
+		return vset.SubtractBitmap(dst, a, rowB)
+	}
+	f.noteKernel(KernelMerge)
+	return vset.Subtract(dst, a, b)
+}
+
+// intersectCount routes a fused counting intersection. aWindowed marks
+// that a was narrowed by bound slicing, in which case operand A's hub
+// row (which covers the full neighbor set) no longer represents it and
+// is ignored; operand B is never windowed. When both full rows are
+// available and a row's word count undercuts both array lengths, the
+// bitmap×bitmap popcount answers in ceil(|V|/64) word ops flat.
+func (f *vmFrame) intersectCount(a, b []uint32, nbrA, nbrB int32, aWindowed bool) int64 {
+	if f.sh.hub != nil {
+		rowB := f.hubRow(nbrB)
+		var rowA []uint64
+		if !aWindowed {
+			rowA = f.hubRow(nbrA)
+		}
+		if rowA != nil && rowB != nil {
+			if w := f.sh.hub.Words(); w < len(a) && w < len(b) {
+				f.noteKernel(KernelBitmapCount)
+				return vset.AndCount(rowA, rowB)
+			}
+		}
+		if len(a) > len(b) {
+			a, b, rowA, rowB = b, a, rowB, rowA
+		}
+		if rowB != nil {
+			f.noteKernel(KernelBitmap)
+			return vset.IntersectCountBitmap(a, rowB)
+		}
+		if rowA != nil && len(b) < len(a)*vset.GallopThreshold {
+			f.noteKernel(KernelBitmap)
+			return vset.IntersectCountBitmap(b, rowA)
+		}
+	}
+	if vset.Gallops(a, b) {
+		f.noteKernel(KernelGallop)
+	} else {
+		f.noteKernel(KernelMerge)
+	}
+	return vset.IntersectCount(a, b)
+}
+
 // execCount evaluates a fused ICount: the size of a windowed (and
 // optionally intersected) set minus excluded members, with no set
 // materialized. Bounds narrow the base as zero-copy subslices.
@@ -405,7 +535,8 @@ func (f *vmFrame) execCount(ins *ast.Instr) int64 {
 	var n int64
 	if ins.B >= 0 {
 		b := f.sets[ins.B]
-		n = vset.IntersectCount(a, b)
+		aWindowed := ins.V >= 0 || ins.SA >= 0
+		n = f.intersectCount(a, b, ins.NbrA, ins.NbrB, aWindowed)
 		if ins.NKeys > 0 {
 			n -= f.exclCount(ins, a, b)
 		}
@@ -461,9 +592,9 @@ func (f *vmFrame) execSet(ins *ast.Instr) {
 		f.sets[ins.Dst] = f.sh.g.Neighbors(f.vars[ins.V])
 		return
 	case ast.OpIntersect:
-		dst = vset.Intersect(dst, f.sets[ins.A], f.sets[ins.B])
+		dst = f.intersectInto(dst, f.sets[ins.A], f.sets[ins.B], ins.NbrA, ins.NbrB)
 	case ast.OpSubtract:
-		dst = vset.Subtract(dst, f.sets[ins.A], f.sets[ins.B])
+		dst = f.subtractInto(dst, f.sets[ins.A], f.sets[ins.B], ins.NbrB)
 	case ast.OpRemove:
 		dst = vset.Remove(dst, f.sets[ins.A], f.vars[ins.V])
 	case ast.OpTrimAbove:
@@ -542,10 +673,13 @@ type d1Sched interface {
 const d1SplitMin = 32
 
 // execPrefix executes the pure straight-line prefix of a splittable
-// segment without op counting: a thief re-derives the register state an
-// owner already produced, so the recomputation is excluded from
-// OpCounts to keep totals independent of the steal schedule.
+// segment without op or kernel counting: a thief re-derives the
+// register state an owner already produced, so the recomputation is
+// excluded from OpCounts and KernelCounts to keep totals independent
+// of the steal schedule.
 func (f *vmFrame) execPrefix(start, end int32) {
+	f.mute = true
+	defer func() { f.mute = false }()
 	code := f.sh.bc.Code
 	for pc := start; pc < end; pc++ {
 		ins := &code[pc]
@@ -679,6 +813,8 @@ func (f *vmFrame) resetForJob() {
 		f.globalsV[i] = 0
 	}
 	f.opCounts = [ast.NumOpcodes]int64{}
+	f.kernelCounts = [NumKernels]int64{}
+	f.mute = false
 	for _, t := range f.tables {
 		t.Clear()
 	}
@@ -710,10 +846,15 @@ func (f *vmFrame) mergeFrom(w runner) {
 	for i, c := range wf.opCounts {
 		f.opCounts[i] += c
 	}
+	for i, c := range wf.kernelCounts {
+		f.kernelCounts[i] += c
+	}
 }
 
 func (f *vmFrame) finish(res *Result) {
 	copy(res.Globals, f.globalsV)
 	res.OpCounts = make([]int64, ast.NumOpcodes)
 	copy(res.OpCounts, f.opCounts[:])
+	res.KernelCounts = make([]int64, NumKernels)
+	copy(res.KernelCounts, f.kernelCounts[:])
 }

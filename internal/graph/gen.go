@@ -154,12 +154,16 @@ func (g *Graph) WithRandomLabels(numLabels int, seed int64) *Graph {
 		}
 		labels[v] = uint32(lo)
 	}
-	return &Graph{offsets: g.offsets, adj: g.adj, labels: labels, name: g.name + "-labeled"}
+	// Shallow copy: adjacency (and therefore the degree cache and hub
+	// bitmap index) is shared with the receiver.
+	return &Graph{offsets: g.offsets, adj: g.adj, labels: labels, name: g.name + "-labeled",
+		maxDeg: g.maxDeg, avgDeg: g.avgDeg, hub: g.hub}
 }
 
 // Rename returns a shallow copy of g with a new dataset name.
 func (g *Graph) Rename(name string) *Graph {
-	return &Graph{offsets: g.offsets, adj: g.adj, labels: g.labels, name: name}
+	return &Graph{offsets: g.offsets, adj: g.adj, labels: g.labels, name: name,
+		maxDeg: g.maxDeg, avgDeg: g.avgDeg, hub: g.hub}
 }
 
 // SampleEdges returns m distinct edges sampled uniformly without

@@ -18,6 +18,13 @@ type Graph struct {
 	adj     []uint32 // concatenated sorted adjacency lists
 	labels  []uint32 // optional; nil for unlabeled graphs
 	name    string
+	// maxDeg/avgDeg are cached at Build time: both sit on hot
+	// configuration paths (VM arena sizing, hub threshold selection).
+	maxDeg int
+	avgDeg float64
+	// hub holds the hub bitmap index (see hubindex.go), shared by
+	// shallow copies since labels and names do not affect adjacency.
+	hub *hubState
 }
 
 // NumVertices returns |V|.
@@ -74,24 +81,11 @@ func (g *Graph) NumLabels() int {
 	return len(seen)
 }
 
-// MaxDegree returns the maximum vertex degree.
-func (g *Graph) MaxDegree() int {
-	max := 0
-	for v := 0; v < g.NumVertices(); v++ {
-		if d := g.Degree(uint32(v)); d > max {
-			max = d
-		}
-	}
-	return max
-}
+// MaxDegree returns the maximum vertex degree (cached at Build time).
+func (g *Graph) MaxDegree() int { return g.maxDeg }
 
-// AvgDegree returns 2|E|/|V|.
-func (g *Graph) AvgDegree() float64 {
-	if g.NumVertices() == 0 {
-		return 0
-	}
-	return float64(len(g.adj)) / float64(g.NumVertices())
-}
+// AvgDegree returns 2|E|/|V| (cached at Build time).
+func (g *Graph) AvgDegree() float64 { return g.avgDeg }
 
 // String summarizes the graph for logs and experiment output.
 func (g *Graph) String() string {
@@ -216,12 +210,28 @@ func (b *Builder) Build() (*Graph, error) {
 		}
 	}
 	newOffsets[b.n] = w
-	return &Graph{
+	g := &Graph{
 		offsets: newOffsets,
 		adj:     adj[:w:w],
 		labels:  b.labels,
 		name:    b.name,
-	}, nil
+		hub:     &hubState{},
+	}
+	for v := 0; v < b.n; v++ {
+		if d := g.Degree(uint32(v)); d > g.maxDeg {
+			g.maxDeg = d
+		}
+	}
+	if b.n > 0 {
+		g.avgDeg = float64(w) / float64(b.n)
+	}
+	// Hub bitmap index: built here (not lazily) so the immutable Graph
+	// contract holds on the mining hot path. With no vertex at the
+	// default threshold this costs one degree scan and keeps no rows.
+	if g.maxDeg >= g.DefaultHubThreshold() {
+		g.hub.idx.Store(buildHubIndex(g, g.DefaultHubThreshold()))
+	}
+	return g, nil
 }
 
 // FromEdges builds a graph from a flat edge list. Convenience for tests.

@@ -1,0 +1,92 @@
+// Bitmap set kernels: the dense half of the engine's hybrid data plane.
+// A Bitmap is a packed bitset over vertex IDs (bit v of word v/64) — in
+// practice a hub vertex's adjacency row from graph.HubIndex. Outputs of
+// the array×bitmap kernels stay sorted arrays, so downstream operations
+// (trims, loops, further intersections) are unchanged regardless of
+// which kernel produced their input.
+package vset
+
+import "math/bits"
+
+// Bitmap is a packed bitset over vertex IDs: bit v&63 of word v>>6. It
+// must span every vertex ID that can appear in a Set operand.
+type Bitmap = []uint64
+
+// GallopThreshold is the size ratio beyond which Intersect switches from
+// the linear merge to galloping (exponential) search on the larger
+// operand. Exported so the engine's kernel router can price the
+// alternatives consistently with what Intersect would actually do.
+const GallopThreshold = 32
+
+// Gallops reports whether Intersect/IntersectCount on (a, b) would take
+// the galloping path rather than the linear merge.
+func Gallops(a, b Set) bool {
+	la, lb := len(a), len(b)
+	if la > lb {
+		la, lb = lb, la
+	}
+	return la > 0 && lb >= la*GallopThreshold
+}
+
+// IntersectBitmap writes {x ∈ a : bm[x]} into dst[:0] and returns it:
+// a∩b in O(|a|) word probes when b is available as a bitmap. dst may be
+// a[:0] (writes trail reads).
+func IntersectBitmap(dst, a Set, bm Bitmap) Set {
+	dst = dst[:0]
+	for _, v := range a {
+		if bm[v>>6]&(1<<(v&63)) != 0 {
+			dst = append(dst, v)
+		}
+	}
+	return dst
+}
+
+// IntersectCountBitmap returns |{x ∈ a : bm[x]}| without materializing.
+func IntersectCountBitmap(a Set, bm Bitmap) int64 {
+	var n int64
+	for _, v := range a {
+		n += int64(bm[v>>6] >> (v & 63) & 1)
+	}
+	return n
+}
+
+// SubtractBitmap writes {x ∈ a : !bm[x]} into dst[:0] and returns it:
+// a\b in O(|a|) when b is available as a bitmap. dst may be a[:0].
+func SubtractBitmap(dst, a Set, bm Bitmap) Set {
+	dst = dst[:0]
+	for _, v := range a {
+		if bm[v>>6]&(1<<(v&63)) == 0 {
+			dst = append(dst, v)
+		}
+	}
+	return dst
+}
+
+// AndCount returns the population count of a AND b — |a∩b| when both
+// operands are available as bitmaps — in ceil(n/64) word operations,
+// independent of the sets' cardinalities. Rows of different widths are
+// compared over the shorter prefix (bits past either row are absent
+// from that operand, hence from the intersection).
+func AndCount(a, b Bitmap) int64 {
+	if len(b) < len(a) {
+		a = a[:len(b)]
+	} else {
+		b = b[:len(a)]
+	}
+	var n int
+	for i, w := range a {
+		n += bits.OnesCount64(w & b[i])
+	}
+	return int64(n)
+}
+
+// MakeBitmap packs a sorted set into a fresh bitmap spanning vertex IDs
+// [0, n). Used by tests and the fuzz harness; the engine gets its
+// bitmaps prebuilt from graph.HubIndex.
+func MakeBitmap(s Set, n int) Bitmap {
+	bm := make(Bitmap, (n+63)/64)
+	for _, v := range s {
+		bm[v>>6] |= 1 << (v & 63)
+	}
+	return bm
+}

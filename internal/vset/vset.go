@@ -9,10 +9,6 @@ package vset
 // Set is a strictly increasing sequence of vertex IDs.
 type Set = []uint32
 
-// gallopThreshold is the size ratio beyond which Intersect switches from the
-// linear merge to galloping (exponential) search on the larger operand.
-const gallopThreshold = 32
-
 // Intersect writes the intersection of a and b into dst[:0] and returns the
 // result. dst may alias neither a nor b unless it is exactly a[:0] or b[:0]
 // (in-place intersection with the output no longer than either input is
@@ -26,7 +22,7 @@ func Intersect(dst, a, b Set) Set {
 	if len(a) > len(b) {
 		a, b = b, a
 	}
-	if len(b) >= len(a)*gallopThreshold {
+	if len(b) >= len(a)*GallopThreshold {
 		return gallopIntersect(dst, a, b)
 	}
 	i, j := 0, 0
@@ -100,7 +96,7 @@ func IntersectCount(a, b Set) int64 {
 	if len(a) > len(b) {
 		a, b = b, a
 	}
-	if len(b) >= len(a)*gallopThreshold {
+	if len(b) >= len(a)*GallopThreshold {
 		var n int64
 		lo := 0
 		for _, v := range a {

@@ -62,6 +62,14 @@ func execStatsFromResult(res *engine.Result) ExecStats {
 			st.Instructions += c
 		}
 	}
+	for k, c := range res.KernelCounts {
+		if c != 0 {
+			if st.Kernels == nil {
+				st.Kernels = map[string]int64{}
+			}
+			st.Kernels[engine.KernelNames[k]] = c
+		}
+	}
 	st.Steals = res.Steals
 	st.Splits = res.Splits
 	return st
