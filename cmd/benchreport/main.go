@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"decomine/internal/bench"
+	"decomine/internal/obs"
 )
 
 func main() {
@@ -30,7 +31,21 @@ func main() {
 	outFile := flag.String("o", "", "explicit output path (overrides -out)")
 	baseline := flag.String("baseline", "", "pinned report to gate against")
 	tolerance := flag.Float64("tolerance", 0.25, "relative tolerance for host-dependent metrics")
+	overhead := flag.Bool("profiler-overhead", false, "run only the profiler-overhead smoke check (warns above -overhead-warn, never fails)")
+	overheadWarn := flag.Float64("overhead-warn", 0.05, "warn when profiler overhead exceeds this fraction")
+	calibration := flag.Bool("calibration-check", false, "run only the profile-guided calibration check (fails when calibrated ranking picks a worse plan)")
+	slowQuery := flag.Duration("slow-query", 0, "record suite queries slower than this in the slow-query log (0 = off)")
+	slowQueryLog := flag.String("slow-query-log", "", "write the slow-query log as JSON to this path when non-empty")
 	flag.Parse()
+
+	if *slowQuery > 0 {
+		obs.SetSlowQueryThreshold(*slowQuery)
+	}
+
+	if *overhead || *calibration {
+		runChecks(bench.Config{Short: *short, Threads: *threads, Seed: *seed}, *overhead, *calibration, *overheadWarn)
+		return
+	}
 
 	rep, err := bench.Run(bench.Config{Short: *short, Threads: *threads, Seed: *seed})
 	if err != nil {
@@ -50,6 +65,12 @@ func main() {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+
+	if *slowQueryLog != "" {
+		if err := dumpSlowQueries(*slowQueryLog); err != nil {
+			fatal(err)
+		}
+	}
 
 	for _, w := range rep.Workloads {
 		fmt.Printf("%-26s count=%-12d %8.3g insn/s  balance=%.2f  cache=%.0f%%  compile=%.0f%%  wall=%s",
@@ -84,6 +105,57 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "bench gate: ok vs %s\n", *baseline)
+}
+
+// runChecks executes the profiler-overhead smoke check and/or the
+// calibration check. Overhead above the warn threshold only warns
+// (timing is host-dependent); a calibration that changes results or
+// picks a plan with more instructions than static ranking fails.
+func runChecks(cfg bench.Config, overhead, calibration bool, overheadWarn float64) {
+	if overhead {
+		rep, err := bench.ProfilerOverhead(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(bench.FormatOverhead(rep))
+		if rep.OverheadFrac > overheadWarn {
+			fmt.Fprintf(os.Stderr, "WARN: profiler overhead %.1f%% exceeds %.1f%%\n",
+				rep.OverheadFrac*100, overheadWarn*100)
+		}
+	}
+	if calibration {
+		rep, err := bench.CalibrationCheck(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(bench.FormatCalibration(rep))
+		if rep.CalibratedInstructions > rep.StaticInstructions {
+			fmt.Fprintf(os.Stderr, "FAIL: calibrated ranking executed %d instructions, static %d\n",
+				rep.CalibratedInstructions, rep.StaticInstructions)
+			os.Exit(1)
+		}
+	}
+}
+
+// dumpSlowQueries writes the accumulated slow-query log to path as
+// indented JSON. It writes nothing (and removes no existing file) when
+// the log is empty, so CI can upload the file with if-no-files-found:
+// ignore and only produce an artifact for runs that had slow queries.
+func dumpSlowQueries(path string) error {
+	slow := obs.SlowQueries()
+	if len(slow) == 0 {
+		fmt.Fprintln(os.Stderr, "slow-query log: empty, not written")
+		return nil
+	}
+	data, err := json.MarshalIndent(slow, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "slow-query log: %d record(s) -> %s\n", len(slow), path)
+	return nil
 }
 
 func readReport(path string) (*bench.Report, error) {

@@ -39,7 +39,9 @@ func main() {
 	dataset := flag.String("dataset", "wk", "builtin dataset (cs ee wk mc pt lj fr rmat); ignored when -graph is set")
 	threads := flag.Int("threads", 0, "worker threads (0 = GOMAXPROCS)")
 	model := flag.String("model", "approx-mining", "cost model: approx-mining, locality, automine")
-	listen := flag.String("listen", "", "serve /metrics, /debug/vars, /debug/traces and /debug/pprof on this address (e.g. :6060) while the command runs")
+	listen := flag.String("listen", "", "serve /metrics, /debug/vars, /debug/traces, /debug/profile, /debug/queries, /debug/slowqueries and /debug/pprof on this address (e.g. :6060) while the command runs")
+	profile := flag.Bool("profile", false, "arm the in-VM sampling profiler (per-run attribution at /debug/profile)")
+	slowQuery := flag.Duration("slow-query", 0, "record queries slower than this in the slow-query log (0 = off)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) < 1 {
@@ -58,12 +60,17 @@ func main() {
 		}()
 	}
 
+	if *slowQuery > 0 {
+		obs.SetSlowQueryThreshold(*slowQuery)
+	}
+
 	g, err := loadGraph(*graphPath, *dataset)
 	fatalIf(err)
 	fmt.Fprintf(os.Stderr, "graph: %s\n", g)
 	sys := decomine.NewSystem(g, decomine.Options{
 		Threads:   *threads,
 		CostModel: decomine.CostModelKind(*model),
+		Profile:   *profile,
 	})
 
 	switch args[0] {

@@ -88,7 +88,22 @@ type Options struct {
 	// Interpreter selects the execution engine (InterpreterVM when
 	// empty).
 	Interpreter Interpreter
+	// Profile arms the in-VM sampling profiler for every plan execution
+	// (VM only): each query's Result.Stats.Exec.Profile then carries its
+	// wall-time attribution by (opcode × loop depth × kernel path), and
+	// runs accumulate into the process-wide profile served at
+	// /debug/profile. Off by default; profiling adds a clock read per
+	// sampling window and never changes results or instruction counts.
+	Profile bool
 }
+
+// ExecutionProfile is the sampling profiler's attribution record; see
+// Options.Profile, ExecStats.Profile, and System.Calibrate.
+type ExecutionProfile = obs.Profile
+
+// Calibration holds profile-measured cost-model unit weights; see
+// System.Calibrate.
+type Calibration = cost.Calibration
 
 // System binds a graph to compilation options and caches compiled plans
 // and the profiling table. A System is safe for concurrent use: the plan
@@ -104,6 +119,9 @@ type System struct {
 	model     cost.Model
 	planCache map[planKey]*planEntry
 	emitInfo  map[planKey][]subInfo
+	// calibration, when set, reweights the cost model for every
+	// subsequent algorithm search (see Calibrate).
+	calibration *cost.Calibration
 
 	// pool is the persistent work-stealing worker pool shared by every
 	// plan execution this System starts; built lazily on the first
@@ -231,6 +249,7 @@ func (s *System) execOptions(plan *core.Plan) engine.Options {
 		Pool:        s.enginePool(),
 		Prepared:    s.prepared(code),
 		DisableHub:  s.opts.DisableHubIndex,
+		Profile:     s.opts.Profile,
 	}
 }
 
@@ -265,9 +284,42 @@ func (s *System) modelLocked() cost.Model {
 	return s.model
 }
 
+// Calibrate fits cost-model unit weights to prof — or, when prof is
+// nil, to the process-wide accumulated profile (every run started with
+// Options.Profile contributes) — and installs them on this System:
+// subsequent algorithm searches rank candidates by measured per-element
+// kernel costs and a measured per-instruction baseline instead of the
+// static unit guesses. Calibration never changes what any plan
+// computes, only which candidate the search picks; plans already in the
+// plan cache keep their original ranking.
+func (s *System) Calibrate(prof *ExecutionProfile) (*Calibration, error) {
+	if prof == nil {
+		prof = obs.GlobalProfile()
+	}
+	cal, err := cost.Calibrate(prof)
+	if err != nil {
+		return nil, err
+	}
+	s.SetCalibration(cal)
+	return cal, nil
+}
+
+// SetCalibration installs (or, with nil, clears) measured unit weights
+// for subsequent plan ranking; see Calibrate.
+func (s *System) SetCalibration(cal *Calibration) {
+	s.mu.Lock()
+	s.calibration = cal
+	s.mu.Unlock()
+}
+
 func (s *System) searchOptions(mode core.Mode, induced bool) core.SearchOptions {
+	model := s.Model()
+	s.mu.Lock()
+	cal := s.calibration
+	s.mu.Unlock()
 	return core.SearchOptions{
-		Model:                s.Model(),
+		Model:                model,
+		CalibratedCosts:      cal,
 		Mode:                 mode,
 		Induced:              induced,
 		DisableDecomposition: s.opts.DisableDecomposition,
@@ -416,6 +468,9 @@ type ExecStats struct {
 	// runs and under the tree-walker.
 	Steals int64
 	Splits int64
+	// Profile is the run's sampling-profiler attribution, present only
+	// when the System runs with Options.Profile under the VM.
+	Profile *ExecutionProfile
 }
 
 // LastExecStats returns the per-opcode execution counters of the most
@@ -451,19 +506,22 @@ func (s *System) LastExecStats() ExecStats {
 }
 
 func (s *System) run(plan *core.Plan, newConsumer func(worker int) engine.Consumer) (int64, error) {
-	count, _, _, err := s.runStats(plan, newConsumer)
+	count, _, _, err := s.runStats(plan, newConsumer, nil, nil)
 	return count, err
 }
 
 // runStats executes plan and returns the count, the engine result (for
 // per-run stats) and how long assembling the execution state took —
 // which is the bytecode lowering + arena planning on a plan's first
-// run, and ~0 afterwards.
-func (s *System) runStats(plan *core.Plan, newConsumer func(worker int) engine.Consumer) (int64, *engine.Result, time.Duration, error) {
+// run, and ~0 afterwards. cancel and progress (both optional) are
+// threaded through to the engine run.
+func (s *System) runStats(plan *core.Plan, newConsumer func(worker int) engine.Consumer, cancel *atomic.Bool, progress *engine.ProgressTracker) (int64, *engine.Result, time.Duration, error) {
 	lowerStart := time.Now()
 	opts := s.execOptions(plan)
 	lowerDur := time.Since(lowerStart)
 	opts.NewConsumer = newConsumer
+	opts.Cancel = cancel
+	opts.Progress = progress
 	res, err := engine.Run(s.graph.g, plan.Prog, opts)
 	if err != nil {
 		return 0, nil, lowerDur, err

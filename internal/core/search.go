@@ -57,6 +57,11 @@ type SearchOptions struct {
 	// Stats, when non-nil, receives the phase split of this search
 	// (candidate enumeration vs cost-model ranking) for query tracing.
 	Stats *SearchStats
+	// CalibratedCosts, when non-nil, ranks candidates with Model's
+	// estimator reweighted by profile-measured unit costs
+	// (cost.Calibrate). Calibration only changes which candidate wins
+	// the ranking, never what any candidate computes.
+	CalibratedCosts *cost.Calibration
 	// Mode ModeEmit additionally requires partial-embedding emission.
 }
 
@@ -94,6 +99,8 @@ func Search(p *pattern.Pattern, opts SearchOptions) (*Candidate, []Candidate, er
 		return nil, nil, fmt.Errorf("core: pattern %s is not connected", p)
 	}
 
+	model := cost.ApplyCalibration(opts.Model, opts.CalibratedCosts)
+
 	searchStart := time.Now()
 	var rankTime time.Duration
 	var cands []Candidate
@@ -105,7 +112,7 @@ func Search(p *pattern.Pattern, opts SearchOptions) (*Candidate, []Candidate, er
 			ast.Optimize(plan.Prog)
 		}
 		rankStart := time.Now()
-		c := opts.Model.Cost(plan.Prog)
+		c := model.Cost(plan.Prog)
 		rankTime += time.Since(rankStart)
 		cands = append(cands, Candidate{Plan: plan, Cost: c})
 	}

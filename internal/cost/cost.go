@@ -13,6 +13,7 @@ import (
 	"decomine/internal/graph"
 	"decomine/internal/obs"
 	"decomine/internal/sampling"
+	"decomine/internal/vset"
 )
 
 // Per-model evaluation counters: one increment per candidate plan
@@ -69,17 +70,22 @@ type Model interface {
 
 // ---- AutoMine random-graph model ----
 
-type autoMine struct{ st GraphStats }
+type autoMine struct {
+	st    GraphStats
+	units Units
+}
 
 // NewAutoMine returns the baseline model: a random graph with n vertices
 // where every pair is connected with fixed probability p (§6.1).
-func NewAutoMine(st GraphStats) Model { return &autoMine{st} }
+func NewAutoMine(st GraphStats) Model { return &autoMine{st: st, units: DefaultUnits()} }
 
 func (m *autoMine) Name() string { return "automine" }
 
+func (m *autoMine) withUnits(u Units) Model { c := *m; c.units = u; return &c }
+
 func (m *autoMine) Cost(prog *ast.Program) float64 {
 	obsEvalAutoMine.Inc()
-	e := estimator{st: m.st, intersect: func(a, b float64, _, _ bool) float64 {
+	e := estimator{st: m.st, units: m.units, intersect: func(a, b float64, _, _ bool) float64 {
 		return a * b / math.Max(m.st.N, 1)
 	}}
 	return e.run(prog)
@@ -90,6 +96,7 @@ func (m *autoMine) Cost(prog *ast.Program) float64 {
 type locality struct {
 	st     GraphStats
 	plocal float64
+	units  Units
 }
 
 // NewLocality returns the locality-aware model: vertices within α hops
@@ -100,14 +107,16 @@ func NewLocality(st GraphStats, plocal float64) Model {
 	if plocal <= 0 {
 		plocal = 0.25
 	}
-	return &locality{st, plocal}
+	return &locality{st: st, plocal: plocal, units: DefaultUnits()}
 }
 
 func (m *locality) Name() string { return "locality" }
 
+func (m *locality) withUnits(u Units) Model { c := *m; c.units = u; return &c }
+
 func (m *locality) Cost(prog *ast.Program) float64 {
 	obsEvalLocality.Inc()
-	e := estimator{st: m.st, intersect: func(a, b float64, na, nb bool) float64 {
+	e := estimator{st: m.st, units: m.units, intersect: func(a, b float64, na, nb bool) float64 {
 		if na && nb {
 			return math.Min(a, b) * m.plocal
 		}
@@ -122,6 +131,7 @@ type approxMining struct {
 	st       GraphStats
 	profile  *sampling.Profile
 	fallback Model
+	units    Units
 }
 
 // NewApproxMining returns the approximate-mining based model (§6.2): the
@@ -130,15 +140,18 @@ type approxMining struct {
 // entries (disconnected prefixes, oversized patterns) fall back to the
 // locality model's branching estimate.
 func NewApproxMining(st GraphStats, profile *sampling.Profile) Model {
-	return &approxMining{st: st, profile: profile, fallback: NewLocality(st, 0.25)}
+	return &approxMining{st: st, profile: profile, fallback: NewLocality(st, 0.25), units: DefaultUnits()}
 }
 
 func (m *approxMining) Name() string { return "approx-mining" }
 
+func (m *approxMining) withUnits(u Units) Model { c := *m; c.units = u; return &c }
+
 func (m *approxMining) Cost(prog *ast.Program) float64 {
 	obsEvalApprox.Inc()
 	e := estimator{
-		st: m.st,
+		st:    m.st,
+		units: m.units,
 		intersect: func(a, b float64, na, nb bool) float64 {
 			if na && nb {
 				return math.Min(a, b) * 0.25
@@ -172,7 +185,11 @@ func (m *approxMining) Cost(prog *ast.Program) float64 {
 // from neighbor lists (the locality signal); for every loop it tracks the
 // expected total number of iterations across the whole execution.
 type estimator struct {
-	st        GraphStats
+	st GraphStats
+	// units weights the cost sites; under DefaultUnits every estimate
+	// is bit-identical to the unweighted formulas (every weight is an
+	// exact 1.0 multiply, gallop modeling is off).
+	units     Units
 	intersect func(a, b float64, aNb, bNb bool) float64
 	// loopCount, when set and returning ok, overrides the expected TOTAL
 	// number of iterations of a loop (absolute, profile units).
@@ -214,18 +231,18 @@ func (e *estimator) walk(body []*ast.Node, iters, prefCount float64) {
 					childPref = c
 				}
 			}
-			e.cost += total // loop bookkeeping
+			e.cost += total * e.units.Loop // loop bookkeeping
 			e.walk(n.Body, math.Max(total, 1e-12), math.Max(childPref, 1e-12))
 		case ast.KSetDef:
 			e.defineSet(n, iters)
 		case ast.KScalarDef, ast.KScalarReset, ast.KScalarAccum, ast.KGlobalAdd:
-			e.cost += iters
+			e.cost += iters * e.units.Scalar
 		case ast.KHashClear:
-			e.cost += iters
+			e.cost += iters * e.units.Hash
 		case ast.KHashInc, ast.KHashGet:
-			e.cost += 2 * iters
+			e.cost += 2 * iters * e.units.Hash
 		case ast.KEmit:
-			e.cost += 2 * iters
+			e.cost += 2 * iters * e.units.Emit
 		case ast.KCondPos:
 			e.walk(n.Body, iters, prefCount)
 		}
@@ -249,6 +266,24 @@ func (e *estimator) hubProbOf(a, b int) float64 {
 	return 0
 }
 
+// arrayPassCost prices the array path of a two-operand set pass over
+// expected sizes a and b: an O(a+b) merge, or — when gallop modeling is
+// calibrated on (GallopElem > 0) and the expected size ratio crosses
+// the VM's dispatch threshold — the O(min·log(max/min)) galloping
+// search the VM would actually run.
+func (e *estimator) arrayPassCost(a, b float64) float64 {
+	if g := e.units.GallopElem; g > 0 {
+		lo, hi := a, b
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		if lo > 0 && hi >= lo*vset.GallopThreshold {
+			return lo * (math.Log2(hi/lo) + 1) * g
+		}
+	}
+	return (a + b) * e.units.MergeElem
+}
+
 func (e *estimator) defineSet(n *ast.Node, iters float64) {
 	var sz float64
 	var nb bool
@@ -265,9 +300,9 @@ func (e *estimator) defineSet(n *ast.Node, iters float64) {
 		// neighbor-derived operand has a hub bitmap row and the VM runs
 		// the O(min) array×bitmap filter instead of the O(a+b) merge.
 		if p := e.hubProbOf(n.A, n.B); p > 0 {
-			e.cost += iters * (p*math.Min(a, b) + (1-p)*(a+b))
+			e.cost += iters * (p*math.Min(a, b)*e.units.BitmapElem + (1-p)*e.arrayPassCost(a, b))
 		} else {
-			e.cost += iters * (a + b) // merge cost
+			e.cost += iters * e.arrayPassCost(a, b) // merge cost
 		}
 	case ast.OpSubtract:
 		a, b := e.size[n.A], e.size[n.B]
@@ -277,28 +312,29 @@ func (e *estimator) defineSet(n *ast.Node, iters float64) {
 		}
 		sz, nb = a*frac, e.fromNbr[n.A]
 		// A hub row on the subtrahend turns the O(a+b) merge into an
-		// O(a) probe filter.
+		// O(a) probe filter. Subtraction never gallops in the VM, so
+		// the array path is always priced as a merge.
 		if e.fromNbr[n.B] && e.st.HubProb > 0 {
 			p := e.st.HubProb
-			e.cost += iters * (p*a + (1-p)*(a+b))
+			e.cost += iters * (p*a*e.units.BitmapElem + (1-p)*(a+b)*e.units.MergeElem)
 		} else {
-			e.cost += iters * (a + b)
+			e.cost += iters * (a + b) * e.units.MergeElem
 		}
 	case ast.OpRemove:
 		sz, nb = math.Max(e.size[n.A]-1, 0), e.fromNbr[n.A]
-		e.cost += iters * e.size[n.A]
+		e.cost += iters * e.size[n.A] * e.units.Scalar
 	case ast.OpTrimAbove, ast.OpTrimBelow:
 		sz, nb = e.size[n.A]/2, e.fromNbr[n.A]
-		e.cost += iters * math.Log2(math.Max(e.size[n.A], 2))
+		e.cost += iters * math.Log2(math.Max(e.size[n.A], 2)) * e.units.Scalar
 	case ast.OpCopy:
 		sz, nb = e.size[n.A], e.fromNbr[n.A]
-		e.cost += iters * e.size[n.A]
+		e.cost += iters * e.size[n.A] * e.units.Scalar
 	case ast.OpFilterLabel, ast.OpFilterLabelOfVar:
 		sz, nb = e.size[n.A]/e.st.Labels, e.fromNbr[n.A]
-		e.cost += iters * e.size[n.A]
+		e.cost += iters * e.size[n.A] * e.units.Scalar
 	case ast.OpFilterLabelNotOfVar:
 		sz, nb = e.size[n.A]*(1-1/e.st.Labels), e.fromNbr[n.A]
-		e.cost += iters * e.size[n.A]
+		e.cost += iters * e.size[n.A] * e.units.Scalar
 	}
 	if sz < 0 {
 		sz = 0

@@ -144,6 +144,16 @@ type Options struct {
 	// hybrid data plane's speedup; plans and instruction counts are
 	// unaffected (the cost model does not consult this option).
 	DisableHub bool
+	// Profile arms the in-VM sampling profiler for this run (VM only):
+	// Result.Profile then carries the wall-time attribution by
+	// (opcode × loop depth × kernel path) plus the exactly timed kernel
+	// subsample, and the run is folded into obs.GlobalProfile. Off by
+	// default — profiling adds a clock read per sampling window and per
+	// timed dispatch; it never changes results or instruction counts.
+	Profile bool
+	// Progress, when non-nil, receives this run's root-range completion
+	// accounting; Progress.Fraction may be polled concurrently.
+	Progress *ProgressTracker
 }
 
 // Result carries the merged global accumulators and execution metadata.
@@ -165,6 +175,15 @@ type Result struct {
 	// merged across workers and independent of the steal schedule. Nil
 	// under the tree-walking interpreter.
 	KernelCounts []int64
+	// KernelElems[k] counts the elements processed by kernel path k
+	// (merge: both operand lengths, gallop: probes × search depth,
+	// bitmap: probed array length, bitmap-count: bitmap words), merged
+	// across workers and schedule-invariant like KernelCounts. Nil under
+	// the tree-walking interpreter.
+	KernelElems []int64
+	// Profile is the run's sampling profile; nil unless Options.Profile
+	// was set (and the VM interpreter ran).
+	Profile *obs.Profile
 	// Steals counts loop ranges taken from another worker's deque, and
 	// Splits counts depth-1 subranges shed as stealable tasks by
 	// workers executing heavy outer iterations. Both are zero under
@@ -299,10 +318,18 @@ func Run(g *graph.Graph, prog *ast.Program, opts Options) (*Result, error) {
 			sh = newVMShared(g, bc, hub)
 		}
 		master = sh.getFrame()
+		mf := master.(*vmFrame)
+		if opts.Profile {
+			mf.prof = &profAgg{}
+		}
+		mf.progress = opts.Progress
 	} else {
 		master = newFrame(g, prog, nil)
 	}
 	master.pin(opts.Pins)
+	if opts.Progress != nil {
+		opts.Progress.setTotal(master.numTop())
+	}
 	res := &Result{
 		Globals:       make([]int64, prog.NumGlobals),
 		WorkPerThread: make([]int64, threads),
@@ -337,6 +364,8 @@ func Run(g *graph.Graph, prog *ast.Program, opts Options) (*Result, error) {
 				if master.canceled() {
 					res.Canceled = true
 				}
+			} else if opts.Progress != nil {
+				opts.Progress.add(segUnits)
 			}
 			continue
 		}
@@ -361,6 +390,9 @@ func Run(g *graph.Graph, prog *ast.Program, opts Options) (*Result, error) {
 						res.Canceled = true
 					}
 					break
+				}
+				if opts.Progress != nil {
+					opts.Progress.add(segSpan(len(over), start, end))
 				}
 				if !useVM {
 					res.WorkPerThread[0] += int64(end - start)
@@ -442,6 +474,9 @@ func Run(g *graph.Graph, prog *ast.Program, opts Options) (*Result, error) {
 						atomic.StoreInt64(&next, int64(len(over))) // drain
 						return
 					}
+					if opts.Progress != nil {
+						opts.Progress.add(segSpan(len(over), start, end))
+					}
 				}
 			}(t, w)
 		}
@@ -471,6 +506,9 @@ func Run(g *graph.Graph, prog *ast.Program, opts Options) (*Result, error) {
 	master.finish(res)
 	master.retire(master)
 	res.Elapsed = time.Since(runStart)
+	if opts.Progress != nil && !res.Canceled {
+		opts.Progress.markDone()
+	}
 
 	obsRuns.Inc()
 	obsExecNS.Add(res.Elapsed.Nanoseconds())
@@ -489,6 +527,11 @@ func Run(g *graph.Graph, prog *ast.Program, opts Options) (*Result, error) {
 		for t, w := range res.WorkPerThread {
 			obsWorkerInstr.Observe(w)
 			workerInstrCounter(t).Add(w)
+		}
+		if res.Profile != nil {
+			obs.AccumulateProfile(res.Profile)
+			obsProfNS.Add(res.Profile.TotalNS)
+			obsProfSamples.Add(res.Profile.Samples)
 		}
 	}
 	return res, nil

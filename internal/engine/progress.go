@@ -1,0 +1,82 @@
+package engine
+
+// Root-range completion accounting. A run's work is modeled as a
+// fixed-point budget: every top-level statement owns segUnits units, a
+// loop statement's units are spread across its outer elements, and a
+// split outer element spreads its share across its depth-1 candidate
+// range. Spans are computed by the telescoping rule u*hi/n − u*lo/n,
+// so any partition of [0, n) sums to exactly u regardless of how the
+// scheduler splits or steals — the fraction reaches exactly 1.0 on
+// completion with no float drift. Updates are batched (one atomic add
+// per executed piece, chunk, or depth-1 range), never per iteration.
+
+import "sync/atomic"
+
+// segUnits is the fixed-point unit budget of one top-level statement.
+// Large enough that integer division spreads evenly over any realistic
+// outer range, small enough that units*len(range) cannot overflow.
+const segUnits = int64(1) << 30
+
+// segSpan returns the unit share of outer-index range [lo, hi) of a
+// loop over n elements.
+func segSpan(n, lo, hi int) int64 {
+	if n <= 0 {
+		return 0
+	}
+	return segUnits*int64(hi)/int64(n) - segUnits*int64(lo)/int64(n)
+}
+
+// elemSpan returns the share of depth-1 index range [lo, hi) out of a
+// candidate set of m elements, from an outer element's budget of units.
+func elemSpan(units int64, m, lo, hi int) int64 {
+	if m <= 0 {
+		return 0
+	}
+	return units*int64(hi)/int64(m) - units*int64(lo)/int64(m)
+}
+
+// ProgressTracker reports a run's completion fraction. One tracker
+// observes one Run call (Options.Progress); Fraction may be read
+// concurrently from any goroutine (e.g. the /debug/queries handler).
+type ProgressTracker struct {
+	total    atomic.Int64
+	done     atomic.Int64
+	finished atomic.Bool
+}
+
+func (p *ProgressTracker) setTotal(numTop int) {
+	p.total.Store(int64(numTop) * segUnits)
+	p.done.Store(0)
+	p.finished.Store(false)
+}
+
+func (p *ProgressTracker) add(units int64) {
+	if units > 0 {
+		p.done.Add(units)
+	}
+}
+
+// markDone pins the fraction at exactly 1 when a run completes (it may
+// complete with a partial span sum when a consumer stopped it early).
+func (p *ProgressTracker) markDone() { p.finished.Store(true) }
+
+// Fraction returns the completion fraction in [0, 1]. It is monotone
+// over the lifetime of a run and reaches exactly 1.0 at completion;
+// a canceled run's fraction stays wherever cancellation caught it.
+func (p *ProgressTracker) Fraction() float64 {
+	if p.finished.Load() {
+		return 1
+	}
+	t := p.total.Load()
+	if t <= 0 {
+		return 0
+	}
+	fr := float64(p.done.Load()) / float64(t)
+	if fr < 0 {
+		return 0
+	}
+	if fr > 1 {
+		return 1
+	}
+	return fr
+}

@@ -71,6 +71,9 @@ type task struct {
 	v      uint32 // outer binding (depth-1 tasks only)
 	lo, hi int
 	depth1 bool
+	// elemUnits is the outer element's progress budget (depth-1 tasks
+	// only): the executor accounts the range's proportional share.
+	elemUnits int64
 }
 
 // piece is one execution quantum carved from a task.
@@ -105,6 +108,9 @@ type job struct {
 	// balance histograms.
 	stealsBy []atomic.Int64
 	splitsBy []atomic.Int64
+	// progress, when non-nil, receives completion spans as pieces of the
+	// outer range drain (Options.Progress).
+	progress *ProgressTracker
 	done     chan struct{}
 }
 
@@ -128,8 +134,16 @@ func newJob(master *vmFrame, seg int, over []uint32, cancel *atomic.Bool, slots 
 		wf.setConsumer(getConsumer(t))
 		wf.setCancel(cancel)
 		wf.stopFlag = &j.stop
+		// Workers inherit the master's profiling/progress arming; their
+		// accumulators fold back via mergeFrom when the job drains.
+		if master.prof != nil {
+			wf.prof = &profAgg{}
+			wf.lastKernel = NumKernels
+		}
+		wf.progress = master.progress
 		j.frames[t] = wf
 	}
+	j.progress = master.progress
 	return j
 }
 
@@ -306,7 +320,7 @@ func stealFrom(d *[]*task) (*task, bool) {
 	}
 	if n := t.hi - t.lo; n > lim {
 		mid := t.lo + n/2
-		nt := &task{j: t.j, seg: t.seg, v: t.v, lo: mid, hi: t.hi, depth1: t.depth1}
+		nt := &task{j: t.j, seg: t.seg, v: t.v, lo: mid, hi: t.hi, depth1: t.depth1, elemUnits: t.elemUnits}
 		t.hi = mid
 		t.j.pending.Add(1)
 		return nt, true
@@ -325,12 +339,12 @@ type shedder struct {
 	id int // worker slot doing the shedding
 }
 
-func (s *shedder) shed(seg int, v uint32, lo, hi int) bool {
+func (s *shedder) shed(seg int, v uint32, lo, hi int, elemUnits int64) bool {
 	p := s.p
 	if p.waiting.Load() == 0 {
 		return false // nobody idle: keep the range, zero-cost fast path
 	}
-	t := &task{j: s.j, seg: seg, v: v, lo: lo, hi: hi, depth1: true}
+	t := &task{j: s.j, seg: seg, v: v, lo: lo, hi: hi, depth1: true, elemUnits: elemUnits}
 	s.j.pending.Add(1)
 	p.mu.Lock()
 	p.inject = append(p.inject, t)
@@ -359,16 +373,19 @@ func (p *Pool) runPiece(id int, pc piece) {
 	sched := &shedder{p: p, j: j, id: id}
 	ok := true
 	if t.depth1 {
-		ok = f.execD1(t.seg, t.v, pc.lo, pc.hi, sched)
+		ok = f.execD1(t.seg, t.v, pc.lo, pc.hi, t.elemUnits, sched)
 	} else if f.splittable(t.seg) {
 		for k := pc.lo; k < pc.hi && ok; k++ {
 			if j.stop.Load() != stopRun {
 				return
 			}
-			ok = f.execD1(t.seg, j.over[k], 0, -1, sched)
+			ok = f.execD1(t.seg, j.over[k], 0, -1, segSpan(len(j.over), k, k+1), sched)
 		}
 	} else {
 		ok = f.execChunk(t.seg, j.over[pc.lo:pc.hi])
+		if ok && j.progress != nil {
+			j.progress.add(segSpan(len(j.over), pc.lo, pc.hi))
+		}
 	}
 	if !ok {
 		if f.canceled() {

@@ -71,8 +71,8 @@ type recordingSched struct {
 	queue []task
 }
 
-func (r *recordingSched) shed(seg int, v uint32, lo, hi int) bool {
-	r.queue = append(r.queue, task{seg: seg, v: v, lo: lo, hi: hi, depth1: true})
+func (r *recordingSched) shed(seg int, v uint32, lo, hi int, elemUnits int64) bool {
+	r.queue = append(r.queue, task{seg: seg, v: v, lo: lo, hi: hi, depth1: true, elemUnits: elemUnits})
 	return true
 }
 
@@ -99,13 +99,13 @@ func TestExecD1SplitMatchesWhole(t *testing.T) {
 	}
 
 	whole := sh.getFrame()
-	if !whole.execD1(si, hub, 0, -1, nil) {
+	if !whole.execD1(si, hub, 0, -1, 0, nil) {
 		t.Fatal("whole execD1 stopped")
 	}
 
 	owner := sh.getFrame()
 	rec := &recordingSched{}
-	if !owner.execD1(si, hub, 0, -1, rec) {
+	if !owner.execD1(si, hub, 0, -1, 0, rec) {
 		t.Fatal("owner execD1 stopped")
 	}
 	if len(rec.queue) == 0 {
@@ -116,7 +116,7 @@ func TestExecD1SplitMatchesWhole(t *testing.T) {
 		tk := rec.queue[0]
 		rec.queue = rec.queue[1:]
 		thief := sh.getFrame()
-		if !thief.execD1(tk.seg, tk.v, tk.lo, tk.hi, rec) {
+		if !thief.execD1(tk.seg, tk.v, tk.lo, tk.hi, tk.elemUnits, rec) {
 			t.Fatal("thief execD1 stopped")
 		}
 		owner.mergeFrom(thief)

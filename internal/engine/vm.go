@@ -10,6 +10,7 @@ package engine
 
 import (
 	"fmt"
+	"math/bits"
 	"sync"
 	"sync/atomic"
 
@@ -59,6 +60,9 @@ type vmShared struct {
 	arenaLen int
 	// d1[i] describes the splittable depth-1 loop of segment i, if any.
 	d1 []d1Info
+	// depths[pc] is the static loop depth of each instruction (capped at
+	// profMaxDepth-1), the profiler's depth attribution axis.
+	depths []int8
 	// framePool recycles worker frames (register files + arenas) across
 	// runs of this program, so repeated queries allocate nothing.
 	framePool sync.Pool
@@ -196,6 +200,7 @@ func newVMShared(g *graph.Graph, bc *ast.Lowered, hub *graph.HubIndex) *vmShared
 		}
 	}
 	sh.d1 = analyzeD1(bc)
+	sh.depths = profDepths(bc)
 	return sh
 }
 
@@ -232,12 +237,31 @@ type vmFrame struct {
 	// opCounts[op] counts executed instructions per opcode.
 	opCounts [ast.NumOpcodes]int64
 	// kernelCounts[k] counts intersect/subtract dispatches per kernel
-	// path (merge/gallop/bitmap/bitmap-count). mute suspends counting
-	// while a thief re-derives a prefix the owner already executed, so
-	// totals stay independent of the steal schedule (same discipline as
-	// OpCounts and execPrefix).
+	// path (merge/gallop/bitmap/bitmap-count) and kernelElems[k] the
+	// elements those dispatches processed (the per-path work measure the
+	// cost models price). mute suspends counting while a thief re-derives
+	// a prefix the owner already executed, so totals stay independent of
+	// the steal schedule (same discipline as OpCounts and execPrefix).
 	kernelCounts [NumKernels]int64
+	kernelElems  [NumKernels]int64
 	mute         bool
+
+	// fuel is the dispatch loop's back-edge countdown, persisted across
+	// exec calls so cancellation polls — and, when profiling, sampling
+	// windows — stay on a fixed instruction cadence even when the
+	// scheduler drives many short exec calls (execD1 bodies).
+	fuel int32
+	// prof arms the sampling profiler on this frame (nil = off);
+	// profStamp is the open window's start, lastKernel the kernel path
+	// of the most recent dispatch (NumKernels = none yet), kernelTick
+	// the dispatch counter driving the exact-timing subsample.
+	prof       *profAgg
+	profStamp  int64
+	lastKernel int8
+	kernelTick uint32
+	// progress, when non-nil, receives this frame's completion spans
+	// (execD1 flushes its processed depth-1 range).
+	progress *ProgressTracker
 
 	// cancel, when non-nil, is polled by the dispatch loop every
 	// cancelCheckInterval instructions; cancelHit records that an
@@ -268,6 +292,8 @@ func newVMFrame(sh *vmShared, parent *vmFrame) *vmFrame {
 		iter:     make([]int, sh.bc.NumLoops),
 		cur:      make([][]uint32, sh.bc.NumLoops),
 	}
+	f.fuel = cancelCheckInterval
+	f.lastKernel = NumKernels
 	arena := make([]uint32, sh.arenaLen)
 	off := 0
 	for r, c := range sh.bufCap {
@@ -312,13 +338,17 @@ func (f *vmFrame) exec(start, end int32) bool {
 	iter := f.iter
 	cur := f.cur
 	counts := &f.opCounts
-	fuel := int32(cancelCheckInterval)
+	fuel := f.fuel
 	for pc := start; pc < end; {
 		fuel--
 		if fuel <= 0 {
 			fuel = cancelCheckInterval
+			if f.prof != nil {
+				f.profFlush(pc)
+			}
 			if f.cancel != nil && f.cancel.Load() {
 				f.cancelHit = true
+				f.fuel = fuel
 				return false
 			}
 		}
@@ -406,6 +436,7 @@ func (f *vmFrame) exec(start, end int32) bool {
 			}
 		case ast.IEmit:
 			if !f.consumer.Process(int(ins.Dst), f.key(ins), scalars[ins.SA]) {
+				f.fuel = fuel
 				return false
 			}
 			pc++
@@ -416,6 +447,7 @@ func (f *vmFrame) exec(start, end int32) bool {
 			panic(fmt.Sprintf("engine: unknown opcode %d", ins.Op))
 		}
 	}
+	f.fuel = fuel
 	return true
 }
 
@@ -432,12 +464,37 @@ func (f *vmFrame) hubRow(nbr int32) []uint64 {
 	return f.sh.hub.Row(f.vars[nbr])
 }
 
-// noteKernel attributes one intersect/subtract dispatch to a kernel
-// path, unless this frame is replaying a stolen prefix.
-func (f *vmFrame) noteKernel(k int) {
-	if !f.mute {
-		f.kernelCounts[k]++
+// noteKernel attributes one intersect/subtract dispatch of elems
+// processed elements to a kernel path, unless this frame is replaying a
+// stolen prefix. It returns true when a profiling frame should time
+// this dispatch exactly (one in profKernelInterval): callers then wrap
+// the kernel call with profNow and report it via profAgg.noteTimed.
+func (f *vmFrame) noteKernel(k int, elems int64) bool {
+	if f.mute {
+		return false
 	}
+	f.kernelCounts[k]++
+	f.kernelElems[k] += elems
+	if f.prof == nil {
+		return false
+	}
+	f.lastKernel = int8(k)
+	f.kernelTick++
+	return f.kernelTick&(profKernelInterval-1) == 0
+}
+
+// gallopElems is the galloping intersection's work measure: the smaller
+// operand's length times the per-probe binary-search depth — the same
+// min·(log₂(max/min)+1) term the cost models price a gallop at.
+func gallopElems(a, b []uint32) int64 {
+	la, lb := len(a), len(b)
+	if la > lb {
+		la, lb = lb, la
+	}
+	if la == 0 {
+		return 1
+	}
+	return int64(la) * int64(bits.Len(uint(lb/la))+1)
 }
 
 // intersectInto evaluates a∩b into dst through the cheapest kernel.
@@ -454,18 +511,33 @@ func (f *vmFrame) intersectInto(dst, a, b []uint32, nbrA, nbrB int32) []uint32 {
 			a, b, rowA, rowB = b, a, rowB, rowA
 		}
 		if rowB != nil {
-			f.noteKernel(KernelBitmap)
+			if f.noteKernel(KernelBitmap, int64(len(a))) {
+				t0 := profNow()
+				d := vset.IntersectBitmap(dst, a, rowB)
+				f.prof.noteTimed(KernelBitmap, int64(len(a)), profNow()-t0)
+				return d
+			}
 			return vset.IntersectBitmap(dst, a, rowB)
 		}
 		if rowA != nil && len(b) < len(a)*vset.GallopThreshold {
-			f.noteKernel(KernelBitmap)
+			if f.noteKernel(KernelBitmap, int64(len(b))) {
+				t0 := profNow()
+				d := vset.IntersectBitmap(dst, b, rowA)
+				f.prof.noteTimed(KernelBitmap, int64(len(b)), profNow()-t0)
+				return d
+			}
 			return vset.IntersectBitmap(dst, b, rowA)
 		}
 	}
+	k, elems := KernelMerge, int64(len(a)+len(b))
 	if vset.Gallops(a, b) {
-		f.noteKernel(KernelGallop)
-	} else {
-		f.noteKernel(KernelMerge)
+		k, elems = KernelGallop, gallopElems(a, b)
+	}
+	if f.noteKernel(k, elems) {
+		t0 := profNow()
+		d := vset.Intersect(dst, a, b)
+		f.prof.noteTimed(k, elems, profNow()-t0)
+		return d
 	}
 	return vset.Intersect(dst, a, b)
 }
@@ -475,10 +547,21 @@ func (f *vmFrame) intersectInto(dst, a, b []uint32, nbrA, nbrB int32) []uint32 {
 // never helps — the output enumerates a regardless.)
 func (f *vmFrame) subtractInto(dst, a, b []uint32, nbrB int32) []uint32 {
 	if rowB := f.hubRow(nbrB); rowB != nil {
-		f.noteKernel(KernelBitmap)
+		if f.noteKernel(KernelBitmap, int64(len(a))) {
+			t0 := profNow()
+			d := vset.SubtractBitmap(dst, a, rowB)
+			f.prof.noteTimed(KernelBitmap, int64(len(a)), profNow()-t0)
+			return d
+		}
 		return vset.SubtractBitmap(dst, a, rowB)
 	}
-	f.noteKernel(KernelMerge)
+	elems := int64(len(a) + len(b))
+	if f.noteKernel(KernelMerge, elems) {
+		t0 := profNow()
+		d := vset.Subtract(dst, a, b)
+		f.prof.noteTimed(KernelMerge, elems, profNow()-t0)
+		return d
+	}
 	return vset.Subtract(dst, a, b)
 }
 
@@ -497,7 +580,12 @@ func (f *vmFrame) intersectCount(a, b []uint32, nbrA, nbrB int32, aWindowed bool
 		}
 		if rowA != nil && rowB != nil {
 			if w := f.sh.hub.Words(); w < len(a) && w < len(b) {
-				f.noteKernel(KernelBitmapCount)
+				if f.noteKernel(KernelBitmapCount, int64(w)) {
+					t0 := profNow()
+					n := vset.AndCount(rowA, rowB)
+					f.prof.noteTimed(KernelBitmapCount, int64(w), profNow()-t0)
+					return n
+				}
 				return vset.AndCount(rowA, rowB)
 			}
 		}
@@ -505,18 +593,33 @@ func (f *vmFrame) intersectCount(a, b []uint32, nbrA, nbrB int32, aWindowed bool
 			a, b, rowA, rowB = b, a, rowB, rowA
 		}
 		if rowB != nil {
-			f.noteKernel(KernelBitmap)
+			if f.noteKernel(KernelBitmap, int64(len(a))) {
+				t0 := profNow()
+				n := vset.IntersectCountBitmap(a, rowB)
+				f.prof.noteTimed(KernelBitmap, int64(len(a)), profNow()-t0)
+				return n
+			}
 			return vset.IntersectCountBitmap(a, rowB)
 		}
 		if rowA != nil && len(b) < len(a)*vset.GallopThreshold {
-			f.noteKernel(KernelBitmap)
+			if f.noteKernel(KernelBitmap, int64(len(b))) {
+				t0 := profNow()
+				n := vset.IntersectCountBitmap(b, rowA)
+				f.prof.noteTimed(KernelBitmap, int64(len(b)), profNow()-t0)
+				return n
+			}
 			return vset.IntersectCountBitmap(b, rowA)
 		}
 	}
+	k, elems := KernelMerge, int64(len(a)+len(b))
 	if vset.Gallops(a, b) {
-		f.noteKernel(KernelGallop)
-	} else {
-		f.noteKernel(KernelMerge)
+		k, elems = KernelGallop, gallopElems(a, b)
+	}
+	if f.noteKernel(k, elems) {
+		t0 := profNow()
+		n := vset.IntersectCount(a, b)
+		f.prof.noteTimed(k, elems, profNow()-t0)
+		return n
 	}
 	return vset.IntersectCount(a, b)
 }
@@ -662,9 +765,11 @@ func (f *vmFrame) execScalar(ins *ast.Instr) int64 {
 
 // d1Sched receives shed depth-1 subranges from a frame executing a
 // heavy outer iteration; shed returns false when nobody is idle (the
-// range stays with the caller).
+// range stays with the caller). elemUnits is the progress budget of the
+// whole outer element, carried along so whoever executes the shed range
+// accounts its proportional share.
 type d1Sched interface {
-	shed(seg int, v uint32, lo, hi int) bool
+	shed(seg int, v uint32, lo, hi int, elemUnits int64) bool
 }
 
 // d1SplitMin is the smallest depth-1 range worth splitting: below it
@@ -705,11 +810,18 @@ func (f *vmFrame) execPrefix(start, end int32) {
 // uncounted. While sched reports idle workers, the upper half of the
 // remaining range is shed as a stealable task, bounding straggler time
 // by the deepest single depth-1 iteration instead of the hottest outer
-// vertex. Returns false if a consumer or cancellation stopped the run.
-func (f *vmFrame) execD1(i int, v uint32, lo, hi int, sched d1Sched) bool {
+// vertex. elemUnits is this outer element's progress budget; the
+// processed span's share is flushed to f.progress on exit (shed ranges
+// carry their own share to whoever executes them). Returns false if a
+// consumer or cancellation stopped the run.
+func (f *vmFrame) execD1(i int, v uint32, lo, hi int, elemUnits int64, sched d1Sched) bool {
 	seg := &f.sh.bc.Segments[i]
 	d1 := &f.sh.d1[i]
 	f.vars[seg.Var] = v
+	if f.prof != nil {
+		f.profStart()
+		defer func() { f.profFlush(d1.next) }()
+	}
 	owner := lo == 0
 	if owner {
 		if !f.exec(seg.Start+1, d1.begin) {
@@ -729,13 +841,15 @@ func (f *vmFrame) execD1(i int, v uint32, lo, hi int, sched d1Sched) bool {
 	if owner {
 		f.opCounts[ast.ILoopBegin]++
 	}
+	lo0 := lo
+	ok := true
 	for lo < hi {
 		if f.stopFlag != nil && f.stopFlag.Load() != 0 {
-			return true // run already stopped elsewhere; abandon quietly
+			break // run already stopped elsewhere; abandon quietly
 		}
 		if sched != nil && hi-lo >= d1SplitMin {
 			mid := lo + (hi-lo)/2
-			if sched.shed(i, v, mid, hi) {
+			if sched.shed(i, v, mid, hi, elemUnits) {
 				hi = mid
 				continue
 			}
@@ -743,11 +857,21 @@ func (f *vmFrame) execD1(i int, v uint32, lo, hi int, sched d1Sched) bool {
 		f.vars[begin.Dst] = c[lo]
 		f.opCounts[ast.ILoopNext]++
 		if !f.exec(d1.begin+1, d1.next) {
-			return false
+			ok = false
+			break
 		}
 		lo++
 	}
-	return true
+	if f.progress != nil && elemUnits > 0 {
+		if len(c) == 0 {
+			// Empty candidate set: the whole element is done (owner only;
+			// shed ranges never come from empty sets).
+			f.progress.add(elemUnits)
+		} else {
+			f.progress.add(elemSpan(elemUnits, len(c), lo0, lo))
+		}
+	}
+	return ok
 }
 
 // splittable reports whether loop segment i supports depth-1 splitting.
@@ -769,11 +893,19 @@ func (f *vmFrame) topLoop(i int) ([]uint32, bool) {
 
 func (f *vmFrame) execTop(i int) bool {
 	seg := &f.sh.bc.Segments[i]
+	if f.prof != nil {
+		f.profStart()
+		defer func() { f.profFlush(seg.End - 1) }()
+	}
 	return f.exec(seg.Start, seg.End)
 }
 
 func (f *vmFrame) execChunk(i int, elems []uint32) bool {
 	seg := &f.sh.bc.Segments[i]
+	if f.prof != nil {
+		f.profStart()
+		defer func() { f.profFlush(seg.End - 1) }()
+	}
 	// The driver owns the top-level iteration, so the segment's own
 	// ILoopBegin/ILoopNext pair is skipped: bind and run the body.
 	for _, v := range elems {
@@ -814,6 +946,7 @@ func (f *vmFrame) resetForJob() {
 	}
 	f.opCounts = [ast.NumOpcodes]int64{}
 	f.kernelCounts = [NumKernels]int64{}
+	f.kernelElems = [NumKernels]int64{}
 	f.mute = false
 	for _, t := range f.tables {
 		t.Clear()
@@ -822,6 +955,12 @@ func (f *vmFrame) resetForJob() {
 	f.cancelHit = false
 	f.stopFlag = nil
 	f.consumer = nil
+	f.fuel = cancelCheckInterval
+	f.prof = nil
+	f.profStamp = 0
+	f.lastKernel = NumKernels
+	f.kernelTick = 0
+	f.progress = nil
 }
 
 func (f *vmFrame) setCancel(c *atomic.Bool) { f.cancel = c }
@@ -849,6 +988,12 @@ func (f *vmFrame) mergeFrom(w runner) {
 	for i, c := range wf.kernelCounts {
 		f.kernelCounts[i] += c
 	}
+	for i, c := range wf.kernelElems {
+		f.kernelElems[i] += c
+	}
+	if f.prof != nil && wf.prof != nil {
+		f.prof.merge(wf.prof)
+	}
 }
 
 func (f *vmFrame) finish(res *Result) {
@@ -857,4 +1002,9 @@ func (f *vmFrame) finish(res *Result) {
 	copy(res.OpCounts, f.opCounts[:])
 	res.KernelCounts = make([]int64, NumKernels)
 	copy(res.KernelCounts, f.kernelCounts[:])
+	res.KernelElems = make([]int64, NumKernels)
+	copy(res.KernelElems, f.kernelElems[:])
+	if f.prof != nil {
+		res.Profile = f.profToObs()
+	}
 }

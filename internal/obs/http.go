@@ -29,10 +29,17 @@ func publishExpvar() {
 
 // Handler returns the observability endpoint mux:
 //
-//	/metrics        flat text dump of the Default registry
-//	/debug/vars     expvar (includes decomine.metrics, decomine.traces)
-//	/debug/traces   recent query traces as JSON
-//	/debug/pprof/*  the standard pprof profiles
+//	/metrics            flat text dump of the Default registry
+//	                    (histograms in Prometheus bucket form)
+//	/debug/vars         expvar (includes decomine.metrics, decomine.traces)
+//	/debug/traces       recent query traces as indented JSON (with
+//	                    per-trace kernel-path counters)
+//	/debug/profile      accumulated VM sampling profile: flame-style
+//	                    JSON by default, ?format=pprof for a gzipped
+//	                    pprof protobuf dump
+//	/debug/queries      in-flight queries with progress fraction + ETA
+//	/debug/slowqueries  the slow-query log (plan, profile, kernel mix)
+//	/debug/pprof/*      the standard pprof profiles
 func Handler() http.Handler {
 	publishExpvar()
 	mux := http.NewServeMux()
@@ -48,6 +55,34 @@ func Handler() http.Handler {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(RecentTraces())
+	})
+	mux.HandleFunc("/debug/profile", func(w http.ResponseWriter, r *http.Request) {
+		p := GlobalProfile()
+		if r.URL.Query().Get("format") == "pprof" {
+			w.Header().Set("Content-Type", "application/octet-stream")
+			w.Header().Set("Content-Disposition", `attachment; filename="decomine.vm.pb.gz"`)
+			_ = p.WritePprof(w)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(struct {
+			*Profile
+			Flame *FlameNode `json:"flame"`
+		}{p, p.Flame()})
+	})
+	mux.HandleFunc("/debug/queries", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(LiveQueries())
+	})
+	mux.HandleFunc("/debug/slowqueries", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(SlowQueries())
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -217,8 +217,19 @@ func (r *Registry) CounterDelta(base Snapshot, name string) int64 {
 	return r.Counter(name).Load() - base.Counters[name]
 }
 
+// promName maps a registry name to a Prometheus-compatible metric name
+// (dots and dashes become underscores).
+func promName(n string) string {
+	return strings.NewReplacer(".", "_", "-", "_").Replace(n)
+}
+
 // WriteText renders the registry in a flat, stable, line-oriented text
-// format (the /metrics endpoint).
+// format (the /metrics endpoint). Counters and gauges keep the simple
+// "counter <name> <value>" form; histograms are rendered as
+// Prometheus-style cumulative series — one `<name>_bucket{le="..."}`
+// line per occupied power-of-two bound plus the `le="+Inf"` total, and
+// the `_sum`/`_count` companions — instead of the raw log₂ arrays, so
+// a Prometheus scrape of /metrics ingests them as native histograms.
 func (s Snapshot) WriteText(sb *strings.Builder) {
 	names := make([]string, 0, len(s.Counters))
 	for n := range s.Counters {
@@ -243,10 +254,15 @@ func (s Snapshot) WriteText(sb *strings.Builder) {
 	sort.Strings(names)
 	for _, n := range names {
 		h := s.Histograms[n]
-		fmt.Fprintf(sb, "histogram %s count=%d sum=%d", n, h.Count, h.Sum)
+		pn := promName(n)
+		fmt.Fprintf(sb, "# TYPE %s histogram\n", pn)
+		var cum int64
 		for _, b := range h.Buckets {
-			fmt.Fprintf(sb, " le_%d=%d", b.Upper, b.Count)
+			cum += b.Count
+			fmt.Fprintf(sb, "%s_bucket{le=\"%d\"} %d\n", pn, b.Upper, cum)
 		}
-		sb.WriteByte('\n')
+		fmt.Fprintf(sb, "%s_bucket{le=\"+Inf\"} %d\n", pn, h.Count)
+		fmt.Fprintf(sb, "%s_sum %d\n", pn, h.Sum)
+		fmt.Fprintf(sb, "%s_count %d\n", pn, h.Count)
 	}
 }

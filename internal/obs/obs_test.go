@@ -92,22 +92,59 @@ func TestSnapshotAndDelta(t *testing.T) {
 	var sb strings.Builder
 	r.Snapshot().WriteText(&sb)
 	text := sb.String()
-	for _, want := range []string{"counter fresh 1", "counter x 7", "histogram h count=1 sum=9"} {
+	// Histograms render as Prometheus-style cumulative series: 9 lands
+	// in the [8,16) power-of-two bucket.
+	for _, want := range []string{
+		"counter fresh 1", "counter x 7",
+		"# TYPE h histogram",
+		`h_bucket{le="16"} 1`, `h_bucket{le="+Inf"} 1`,
+		"h_sum 9", "h_count 1",
+	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("text dump missing %q:\n%s", want, text)
 		}
 	}
 }
 
+func TestWriteTextHistogramCumulative(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("engine.worker.steals")
+	for _, v := range []int64{1, 3, 3, 100} {
+		h.Observe(v)
+	}
+	var sb strings.Builder
+	r.Snapshot().WriteText(&sb)
+	text := sb.String()
+	// 1 -> [1,2), 3,3 -> [2,4), 100 -> [64,128); cumulative counts must
+	// be monotone and the name sanitized for Prometheus.
+	for _, want := range []string{
+		"# TYPE engine_worker_steals histogram",
+		`engine_worker_steals_bucket{le="2"} 1`,
+		`engine_worker_steals_bucket{le="4"} 3`,
+		`engine_worker_steals_bucket{le="128"} 4`,
+		`engine_worker_steals_bucket{le="+Inf"} 4`,
+		"engine_worker_steals_sum 107",
+		"engine_worker_steals_count 4",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("text dump missing %q:\n%s", want, text)
+		}
+	}
+	if strings.Contains(text, "le_") {
+		t.Errorf("raw log2 bucket lines still present:\n%s", text)
+	}
+}
+
 func TestTraceRing(t *testing.T) {
-	for i := 0; i < traceRingCap+5; i++ {
+	cap := TraceRingSize()
+	for i := 0; i < cap+5; i++ {
 		tr := NewTrace("q")
 		tr.Span(PhaseExecute, time.Millisecond, 0)
 		tr.Finish(nil)
 	}
 	got := RecentTraces()
-	if len(got) != traceRingCap {
-		t.Fatalf("ring holds %d traces, want %d", len(got), traceRingCap)
+	if len(got) != cap {
+		t.Fatalf("ring holds %d traces, want %d", len(got), cap)
 	}
 	for i := 1; i < len(got); i++ {
 		if got[i].ID <= got[i-1].ID {
@@ -125,11 +162,15 @@ func TestHandlerEndpoints(t *testing.T) {
 	h := Handler()
 
 	for path, want := range map[string]string{
-		"/metrics":             "counter test.handler",
-		"/debug/vars":          "decomine.metrics",
-		"/debug/traces":        "[",
-		"/debug/pprof/":        "goroutine",
-		"/debug/pprof/cmdline": "",
+		"/metrics":                    "counter test.handler",
+		"/debug/vars":                 "decomine.metrics",
+		"/debug/traces":               "[",
+		"/debug/profile":              `"flame"`,
+		"/debug/profile?format=pprof": "",
+		"/debug/queries":              "[",
+		"/debug/slowqueries":          "[",
+		"/debug/pprof/":               "goroutine",
+		"/debug/pprof/cmdline":        "",
 	} {
 		req := httptest.NewRequest("GET", path, nil)
 		rec := httptest.NewRecorder()

@@ -1,0 +1,95 @@
+package obs
+
+// Live-query registry behind the /debug/queries endpoint: every
+// in-flight query registers a name plus a progress callback (fed by the
+// engine's root-range completion accounting), so operators can see what
+// a busy System is doing, how far along each query is, and a crude ETA
+// extrapolated from elapsed time and the progress fraction.
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+var obsQueriesInflight = Default.Gauge("queries.inflight")
+
+type queryRec struct {
+	id       uint64
+	name     string
+	begin    time.Time
+	progress func() float64
+}
+
+var (
+	queryMu     sync.Mutex
+	queryNextID uint64
+	queryLive   = map[uint64]*queryRec{}
+)
+
+// RegisterQuery adds an in-flight query to the live registry. progress
+// (may be nil) returns the completion fraction in [0, 1]; it is called
+// from the HTTP handler goroutine and must be safe for concurrent use.
+// The returned function unregisters the query and must be called when
+// the query finishes.
+func RegisterQuery(name string, progress func() float64) (id uint64, unregister func()) {
+	queryMu.Lock()
+	queryNextID++
+	id = queryNextID
+	queryLive[id] = &queryRec{id: id, name: name, begin: time.Now(), progress: progress}
+	queryMu.Unlock()
+	obsQueriesInflight.Add(1)
+	return id, func() {
+		queryMu.Lock()
+		_, ok := queryLive[id]
+		delete(queryLive, id)
+		queryMu.Unlock()
+		if ok {
+			obsQueriesInflight.Add(-1)
+		}
+	}
+}
+
+// LiveQuery is one in-flight query as reported by /debug/queries.
+type LiveQuery struct {
+	ID        uint64    `json:"id"`
+	Name      string    `json:"name"`
+	StartedAt time.Time `json:"started_at"`
+	RunningNS int64     `json:"running_ns"`
+	// Progress is the completion fraction in [0, 1] (0 when the query
+	// has no progress source).
+	Progress float64 `json:"progress"`
+	// ETANS extrapolates remaining time from elapsed/progress; -1 when
+	// progress is still 0 (unknown).
+	ETANS int64 `json:"eta_ns"`
+}
+
+// LiveQueries returns the currently in-flight queries, oldest first.
+func LiveQueries() []LiveQuery {
+	queryMu.Lock()
+	recs := make([]*queryRec, 0, len(queryLive))
+	for _, r := range queryLive {
+		recs = append(recs, r)
+	}
+	queryMu.Unlock()
+	sort.Slice(recs, func(i, j int) bool { return recs[i].id < recs[j].id })
+	out := make([]LiveQuery, 0, len(recs))
+	for _, r := range recs {
+		q := LiveQuery{ID: r.id, Name: r.name, StartedAt: r.begin, RunningNS: time.Since(r.begin).Nanoseconds(), ETANS: -1}
+		if r.progress != nil {
+			p := r.progress()
+			if p < 0 {
+				p = 0
+			}
+			if p > 1 {
+				p = 1
+			}
+			q.Progress = p
+			if p > 0 {
+				q.ETANS = int64(float64(q.RunningNS) * (1 - p) / p)
+			}
+		}
+		out = append(out, q)
+	}
+	return out
+}

@@ -34,6 +34,11 @@ type Trace struct {
 	Spans []Span        `json:"spans"`
 	Total time.Duration `json:"total_ns"`
 	Err   string        `json:"err,omitempty"`
+	// Kernels is the query's set-kernel dispatch mix (merge / gallop /
+	// bitmap / bitmap-count counts), so a per-query kernel regression —
+	// e.g. a plan change that stops hitting the bitmap path — is visible
+	// in /debug/traces without diffing global counters.
+	Kernels map[string]int64 `json:"kernels,omitempty"`
 }
 
 var traceID atomic.Uint64
@@ -65,33 +70,63 @@ func (t *Trace) Finish(err error) {
 	recordTrace(t)
 }
 
-// traceRingCap bounds the memory held by the recent-trace ring.
-const traceRingCap = 64
+// defaultTraceRingSize is the default bound on the memory held by the
+// recent-trace ring; SetTraceRingSize reconfigures it.
+const defaultTraceRingSize = 64
 
 var (
-	traceMu   sync.Mutex
-	traceRing []*Trace
-	traceNext int
+	traceMu       sync.Mutex
+	traceRingSize = defaultTraceRingSize
+	traceRing     []*Trace
+	traceNext     int
 )
+
+// SetTraceRingSize resizes the recent-trace ring (default 64, minimum
+// 1). Shrinking keeps the most recent traces.
+func SetTraceRingSize(n int) {
+	if n < 1 {
+		n = 1
+	}
+	traceMu.Lock()
+	defer traceMu.Unlock()
+	cur := recentLocked()
+	if len(cur) > n {
+		cur = cur[len(cur)-n:]
+	}
+	traceRingSize = n
+	traceRing = cur
+	traceNext = 0
+}
+
+// TraceRingSize returns the current ring capacity.
+func TraceRingSize() int {
+	traceMu.Lock()
+	defer traceMu.Unlock()
+	return traceRingSize
+}
 
 func recordTrace(t *Trace) {
 	traceMu.Lock()
 	defer traceMu.Unlock()
-	if len(traceRing) < traceRingCap {
+	if len(traceRing) < traceRingSize {
 		traceRing = append(traceRing, t)
 		return
 	}
 	traceRing[traceNext] = t
-	traceNext = (traceNext + 1) % traceRingCap
+	traceNext = (traceNext + 1) % traceRingSize
 }
 
-// RecentTraces returns the most recently finished query traces, oldest
-// first (up to the ring capacity of 64).
-func RecentTraces() []*Trace {
-	traceMu.Lock()
-	defer traceMu.Unlock()
+func recentLocked() []*Trace {
 	out := make([]*Trace, 0, len(traceRing))
 	out = append(out, traceRing[traceNext:]...)
 	out = append(out, traceRing[:traceNext]...)
 	return out
+}
+
+// RecentTraces returns the most recently finished query traces, oldest
+// first (up to the ring capacity, 64 by default).
+func RecentTraces() []*Trace {
+	traceMu.Lock()
+	defer traceMu.Unlock()
+	return recentLocked()
 }

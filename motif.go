@@ -28,15 +28,15 @@ func (s *System) MotifCounts(k int) ([]MotifCount, error) {
 	pats := pattern.ConnectedPatterns(k)
 	ei := make(map[pattern.Code]int64, len(pats))
 	for _, p := range pats {
-		plan, err := s.plan(p, core.ModeCount, false)
+		// Each per-class count is a full query: it shares CountPattern's
+		// plan cache and engine path, and additionally shows up at
+		// /debug/queries while running and in the slow-query log when it
+		// crosses the threshold.
+		r, err := s.countPattern(&Pattern{p}, nil, nil)
 		if err != nil {
 			return nil, err
 		}
-		c, err := s.run(plan, nil)
-		if err != nil {
-			return nil, err
-		}
-		ei[p.Canonical()] = c
+		ei[p.Canonical()] = r.Count
 	}
 	out := make([]MotifCount, 0, len(pats))
 	for _, p := range pats {

@@ -1,6 +1,8 @@
 package decomine
 
 import (
+	"fmt"
+	"sync/atomic"
 	"time"
 
 	"decomine/internal/ast"
@@ -72,6 +74,7 @@ func execStatsFromResult(res *engine.Result) ExecStats {
 	}
 	st.Steals = res.Steals
 	st.Splits = res.Splits
+	st.Profile = res.Profile
 	return st
 }
 
@@ -79,9 +82,26 @@ func execStatsFromResult(res *engine.Result) ExecStats {
 // together with this run's stats: plan-cache outcome, compile phase
 // spans (on a miss), lowering time, execution time, and the engine's
 // instruction/steal counters. It is GetPatternCount with per-run
-// observability; both share the plan cache.
+// observability; both share the plan cache. While the query runs it is
+// visible (with live progress) at /debug/queries; queries slower than
+// obs.SetSlowQueryThreshold land in the slow-query log.
 func (s *System) CountPattern(p *Pattern) (*Result, error) {
-	tr := obs.NewTrace("count:" + p.String())
+	return s.countPattern(p, nil, nil)
+}
+
+// countPattern is the shared synchronous/asynchronous query body.
+// cancel (optional) aborts the execution phase; tracker (optional,
+// allocated here when nil) receives root-range completion accounting
+// and backs the live-progress registration.
+func (s *System) countPattern(p *Pattern, cancel *atomic.Bool, tracker *engine.ProgressTracker) (*Result, error) {
+	name := "count:" + p.String()
+	begin := time.Now()
+	if tracker == nil {
+		tracker = &engine.ProgressTracker{}
+	}
+	tr := obs.NewTrace(name)
+	_, unregister := obs.RegisterQuery(name, tracker.Fraction)
+	defer unregister()
 	e, hit, err := s.planFull(p.p, core.ModeCount, false)
 	if err != nil {
 		tr.Finish(err)
@@ -98,10 +118,14 @@ func (s *System) CountPattern(p *Pattern) (*Result, error) {
 		tr.Span(obs.PhaseEnumerate, e.stats.EnumerateTime, e.stats.Candidates)
 		tr.Span(obs.PhaseRank, e.stats.RankTime, e.stats.Candidates)
 	}
-	count, res, lowerDur, err := s.runStats(e.plan, nil)
+	count, res, lowerDur, err := s.runStats(e.plan, nil, cancel, tracker)
 	if err != nil {
 		tr.Finish(err)
 		return nil, err
+	}
+	if res.Canceled {
+		tr.Finish(ErrCanceled)
+		return nil, ErrCanceled
 	}
 	st.Phases = append(st.Phases,
 		PhaseSpan{Phase: obs.PhaseLower, Duration: lowerDur},
@@ -112,6 +136,28 @@ func (s *System) CountPattern(p *Pattern) (*Result, error) {
 	st.Exec = execStatsFromResult(res)
 	st.WorkPerThread = append([]int64(nil), res.WorkPerThread...)
 	out.Count = count
+	tr.Kernels = st.Exec.Kernels
 	tr.Finish(nil)
+	s.noteSlowQuery(tr.ID, name, begin, time.Since(begin), e, st)
 	return out, nil
+}
+
+// noteSlowQuery records the finished query in the slow-query log when
+// its end-to-end latency crossed the configured threshold, carrying the
+// selected plan (Explain pseudocode + bytecode disassembly), the
+// kernel-path mix, and the run's profile (when profiling was on).
+func (s *System) noteSlowQuery(traceID uint64, name string, begin time.Time, total time.Duration, e *planEntry, st *QueryStats) {
+	if thr := obs.SlowQueryThreshold(); thr <= 0 || total < thr {
+		return
+	}
+	obs.RecordSlowQuery(&obs.SlowQuery{
+		TraceID:     traceID,
+		Name:        name,
+		Begin:       begin,
+		DurationNS:  total.Nanoseconds(),
+		Plan:        fmt.Sprintf("chosen: %s\n\n%s", e.plan.Desc, core.PlanPseudocode(e.plan)),
+		Disassembly: core.PlanDisassembly(e.plan),
+		Kernels:     st.Exec.Kernels,
+		Profile:     st.Exec.Profile,
+	})
 }
