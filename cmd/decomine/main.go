@@ -5,7 +5,17 @@
 //
 // Usage:
 //
-//	decomine [-graph path | -dataset name] [-threads N] [-model approx-mining|locality|automine] <command> [args]
+//	decomine [-graph path | -dataset name] [-threads N] [-model approx-mining|locality|automine]
+//	         [-mmap] [-slabs N] [-mem-budget size] <command> [args]
+//
+// -graph accepts edge-list text files or binary slab files (written by
+// "graphgen -format slab" or Graph.WriteSlabFile). Slab files — detected
+// by extension .slab or forced with -mmap — are served through a
+// read-only mmap, so graphs larger than RAM mine out-of-core;
+// -mem-budget caps the Go heap (like GOMEMLIMIT) to demonstrate or
+// enforce that. -slabs repartitions an in-memory graph into N
+// degree-ordered slabs, activating the scheduler's slab-affinity
+// stealing.
 //
 // Commands:
 //
@@ -28,6 +38,8 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"runtime/debug"
+	"strings"
 	"time"
 
 	"decomine"
@@ -42,6 +54,9 @@ func main() {
 	listen := flag.String("listen", "", "serve /metrics, /debug/vars, /debug/traces, /debug/profile, /debug/queries, /debug/slowqueries and /debug/pprof on this address (e.g. :6060) while the command runs")
 	profile := flag.Bool("profile", false, "arm the in-VM sampling profiler (per-run attribution at /debug/profile)")
 	slowQuery := flag.Duration("slow-query", 0, "record queries slower than this in the slow-query log (0 = off)")
+	mmapFlag := flag.Bool("mmap", false, "treat -graph as a binary slab file and serve it via mmap (implied by a .slab extension)")
+	slabs := flag.Int("slabs", 0, "repartition an in-memory graph into this many degree-ordered slabs (0 = keep the build-time partition)")
+	memBudget := flag.String("mem-budget", "", "soft Go heap limit, e.g. 32MiB or 2GiB (sets the runtime memory limit; mmap-backed graph pages are exempt)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) < 1 {
@@ -64,8 +79,22 @@ func main() {
 		obs.SetSlowQueryThreshold(*slowQuery)
 	}
 
-	g, err := loadGraph(*graphPath, *dataset)
+	if *memBudget != "" {
+		limit, err := parseMemBudget(*memBudget)
+		fatalIf(err)
+		debug.SetMemoryLimit(limit)
+		fmt.Fprintf(os.Stderr, "memory budget: %d bytes\n", limit)
+	}
+
+	g, err := loadGraph(*graphPath, *dataset, *mmapFlag)
 	fatalIf(err)
+	defer g.Close()
+	if *slabs != 0 {
+		if g.Mapped() {
+			fatal("-slabs cannot repartition an mmap-backed graph (its partition is fixed in the file); regenerate with graphgen -slabs")
+		}
+		g = g.Reslab(*slabs)
+	}
 	fmt.Fprintf(os.Stderr, "graph: %s\n", g)
 	sys := decomine.NewSystem(g, decomine.Options{
 		Threads:   *threads,
@@ -138,11 +167,39 @@ func main() {
 	}
 }
 
-func loadGraph(path, dataset string) (*decomine.Graph, error) {
+func loadGraph(path, dataset string, mmap bool) (*decomine.Graph, error) {
 	if path != "" {
+		if mmap || strings.HasSuffix(path, ".slab") {
+			return decomine.OpenMappedGraph(path)
+		}
 		return decomine.LoadGraph(path)
 	}
 	return decomine.Dataset(dataset)
+}
+
+// parseMemBudget parses a byte size with an optional binary-unit suffix
+// (KiB, MiB, GiB, or the bare forms K, M, G), mirroring GOMEMLIMIT.
+func parseMemBudget(s string) (int64, error) {
+	suffixes := []struct {
+		text string
+		mult int64
+	}{
+		{"KIB", 1 << 10}, {"MIB", 1 << 20}, {"GIB", 1 << 30},
+		{"K", 1 << 10}, {"M", 1 << 20}, {"G", 1 << 30}, {"B", 1}, {"", 1},
+	}
+	up := strings.ToUpper(strings.TrimSpace(s))
+	for _, suf := range suffixes {
+		if !strings.HasSuffix(up, suf.text) || len(up) == len(suf.text) {
+			continue
+		}
+		digits := strings.TrimSuffix(up, suf.text)
+		var n int64
+		if _, err := fmt.Sscanf(digits+"\n", "%d\n", &n); err != nil || n <= 0 {
+			break
+		}
+		return n * suf.mult, nil
+	}
+	return 0, fmt.Errorf("bad memory budget %q (want e.g. 64MiB)", s)
 }
 
 func parsePattern(s string) (*decomine.Pattern, error) {

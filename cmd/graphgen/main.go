@@ -1,6 +1,8 @@
 // Command graphgen writes synthetic benchmark graphs as edge-list files
 // loadable by the decomine CLI and library (plus a .labels companion for
-// labeled graphs).
+// labeled graphs), or — with -format slab — as binary slab files that
+// reload via mmap in seconds instead of re-parsing text (labels are
+// embedded, no companion file).
 //
 // Usage:
 //
@@ -8,6 +10,7 @@
 //	graphgen -out graph.txt -kind gnp  -n 10000 -p 0.001
 //	graphgen -out graph.txt -kind smallworld -n 1000 -k 8 -beta 0.1
 //	graphgen -out graph.txt -dataset wk     # dump a builtin dataset
+//	graphgen -out graph.slab -format slab -kind rmat -scale 20 [-slabs 16]
 package main
 
 import (
@@ -31,6 +34,8 @@ func main() {
 	beta := flag.Float64("beta", 0.1, "smallworld: rewiring probability")
 	labels := flag.Int("labels", 0, "attach this many random vertex labels (0 = unlabeled)")
 	seed := flag.Int64("seed", 42, "random seed")
+	format := flag.String("format", "edgelist", "output format: edgelist (text) or slab (binary, mmap-loadable)")
+	slabs := flag.Int("slabs", 0, "slab format: partition count (0 = automatic)")
 	flag.Parse()
 
 	if *out == "" {
@@ -56,6 +61,19 @@ func main() {
 		g = g.WithRandomLabels(*labels, *seed+1)
 	}
 
+	switch *format {
+	case "slab":
+		if *slabs != 0 {
+			g = g.Reslab(*slabs)
+		}
+		fatalIf(g.WriteSlabFile(*out))
+		fmt.Fprintf(os.Stderr, "wrote %s (%d slabs): %s\n", *out, g.NumSlabs(), g)
+		return
+	case "edgelist":
+		// fall through to the text writer below
+	default:
+		fatalIf(fmt.Errorf("unknown format %q (want edgelist or slab)", *format))
+	}
 	f, err := os.Create(*out)
 	fatalIf(err)
 	defer f.Close()

@@ -143,6 +143,8 @@ type System struct {
 	lastKernelCounts []int64
 	lastSteals       int64
 	lastSplits       int64
+	lastSlabHits     int64
+	lastSlabMisses   int64
 
 	// Plan-cache counters (see CacheStats). Kept as atomics so the hot
 	// cache-hit path does not lengthen its critical section.
@@ -447,6 +449,8 @@ func (s *System) noteExecStats(res *engine.Result) {
 	s.lastKernelCounts = res.KernelCounts
 	s.lastSteals = res.Steals
 	s.lastSplits = res.Splits
+	s.lastSlabHits = res.SlabHits
+	s.lastSlabMisses = res.SlabMisses
 	s.mu.Unlock()
 }
 
@@ -468,6 +472,13 @@ type ExecStats struct {
 	// runs and under the tree-walker.
 	Steals int64
 	Splits int64
+	// SlabHits/SlabMisses score the scheduler's slab-affinity victim
+	// selection: of the steals where both the thief and the stolen task
+	// had a home storage slab, how many kept the thief on the slab it
+	// last executed. Zero on single-slab graphs (the common case for
+	// small inputs) and for sequential runs.
+	SlabHits   int64
+	SlabMisses int64
 	// Profile is the run's sampling-profiler attribution, present only
 	// when the System runs with Options.Profile under the VM.
 	Profile *ExecutionProfile
@@ -502,6 +513,8 @@ func (s *System) LastExecStats() ExecStats {
 	}
 	st.Steals = s.lastSteals
 	st.Splits = s.lastSplits
+	st.SlabHits = s.lastSlabHits
+	st.SlabMisses = s.lastSlabMisses
 	return st
 }
 

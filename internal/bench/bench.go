@@ -15,7 +15,10 @@ package bench
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"runtime"
+	"runtime/debug"
 	"time"
 
 	"decomine"
@@ -83,6 +86,21 @@ type Workload struct {
 	// with the hub index disabled (>1 means the hybrid data plane won).
 	// Host-dependent; reported, not gated.
 	HubSpeedup float64 `json:"hub_speedup,omitempty"`
+	// Slabs is the number of degree-ordered storage partitions backing
+	// the workload graph (1 = a single flat slab). SlabHits/SlabMisses
+	// are the engine.steal.slab_hit / slab_miss registry deltas: how
+	// many work steals landed on (or off) the thief's last-touched
+	// slab. The split is schedule-dependent, so it is reported but not
+	// gated.
+	Slabs      int   `json:"slabs,omitempty"`
+	SlabHits   int64 `json:"slab_hits,omitempty"`
+	SlabMisses int64 `json:"slab_misses,omitempty"`
+	// MmapThroughputRatio, for mmap-comparison workloads, is the engine
+	// throughput of an identical run served from an mmap-backed slab
+	// file of the same graph under a deliberately low Go heap budget,
+	// divided by this workload's in-heap throughput. Host-dependent;
+	// reported, not gated.
+	MmapThroughputRatio float64 `json:"mmap_throughput_ratio,omitempty"`
 }
 
 // Report is the machine-readable suite outcome written to
@@ -100,12 +118,16 @@ type Report struct {
 // workloadSpec is one suite entry: a graph to build and a query to run
 // (twice) against it. hubCompare additionally re-runs the query with
 // the hub bitmap index disabled to measure the hybrid data plane's
-// speedup (and cross-check the counts).
+// speedup (and cross-check the counts). mmapCompare re-runs it on an
+// mmap-backed slab file of the same graph under a reduced Go heap
+// budget to exercise the out-of-core path (and cross-check both the
+// count and the instruction stream).
 type workloadSpec struct {
-	name       string
-	graph      func(cfg Config) *decomine.Graph
-	run        func(sys *decomine.System) (int64, error)
-	hubCompare bool
+	name        string
+	graph       func(cfg Config) *decomine.Graph
+	run         func(sys *decomine.System) (int64, error)
+	hubCompare  bool
+	mmapCompare bool
 }
 
 func gnp(n int, p float64, seed int64) func(Config) *decomine.Graph {
@@ -131,6 +153,7 @@ func suite(cfg Config) []workloadSpec {
 			{name: "fsm-gnp-labeled", graph: labeledGNP(300, 0.02, 3, cfg.Seed+3), run: fsm(40, 2)},
 			{name: "constrained-rmat-labeled", graph: labeledRMAT(9, 6, 4, cfg.Seed+4), run: constrainedCycle()},
 			{name: "motif5-hub-rmat", graph: hubRMAT(9, 8, 48, cfg.Seed+5), run: motifs(5), hubCompare: true},
+			{name: "motif4-slab-rmat", graph: slabRMAT(11, 8, 16, cfg.Seed+6), run: motifs(4), mmapCompare: true},
 		}
 	}
 	return []workloadSpec{
@@ -140,6 +163,17 @@ func suite(cfg Config) []workloadSpec {
 		{name: "fsm-gnp-labeled", graph: labeledGNP(800, 0.012, 4, cfg.Seed+3), run: fsm(60, 3)},
 		{name: "constrained-rmat-labeled", graph: labeledRMAT(11, 8, 4, cfg.Seed+4), run: constrainedCycle()},
 		{name: "motif5-hub-rmat", graph: hubRMAT(11, 8, 64, cfg.Seed+5), run: motifs(5), hubCompare: true},
+		{name: "motif4-slab-rmat", graph: slabRMAT(13, 8, 16, cfg.Seed+6), run: motifs(4), mmapCompare: true},
+	}
+}
+
+// slabRMAT builds the partitioned-substrate workload graph: a
+// power-law R-MAT explicitly repartitioned into p degree-ordered slabs
+// — large enough that the automatic partition would otherwise stay
+// coarse — so the scheduler's slab-affinity stealing engages.
+func slabRMAT(scale, ef, p int, seed int64) func(Config) *decomine.Graph {
+	return func(Config) *decomine.Graph {
+		return decomine.GenerateRMAT(scale, ef, seed).Reslab(p)
 	}
 }
 
@@ -287,8 +321,16 @@ func runWorkload(cfg Config, spec workloadSpec) (Workload, error) {
 			w.Kernels[name] = d
 		}
 	}
+	w.Slabs = g.NumSlabs()
+	w.SlabHits = reg.CounterDelta(base, "engine.steal.slab_hit")
+	w.SlabMisses = reg.CounterDelta(base, "engine.steal.slab_miss")
 	if spec.hubCompare {
 		if err := runHubComparison(cfg, spec, g, &w); err != nil {
+			return Workload{}, err
+		}
+	}
+	if spec.mmapCompare {
+		if err := runMmapComparison(cfg, spec, g, &w); err != nil {
 			return Workload{}, err
 		}
 	}
@@ -334,6 +376,73 @@ func runHubComparison(cfg Config, spec workloadSpec, g *decomine.Graph, w *Workl
 		noHub := float64(instr) / (float64(execNS) / 1e9)
 		if noHub > 0 {
 			w.HubSpeedup = w.Throughput / noHub
+		}
+	}
+	return nil
+}
+
+// runMmapComparison re-runs spec's query on the same graph served from
+// an mmap-backed slab file, under a deliberately reduced Go heap
+// budget (the current live heap plus a fixed slack, instead of the
+// default unlimited setting — the slack keeps the suite process, which
+// still holds the in-heap graph, out of a GC death spiral). The mapped
+// adjacency pages are exempt from the budget, which is what makes
+// out-of-core mining viable; the count and instruction cross-checks
+// prove the mmap path is bit-identical to the heap path, and the
+// throughput ratio records what page-served adjacency costs.
+func runMmapComparison(cfg Config, spec workloadSpec, g *decomine.Graph, w *Workload) error {
+	dir, err := os.MkdirTemp("", "decomine-bench-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "graph.slab")
+	if err := g.WriteSlabFile(path); err != nil {
+		return err
+	}
+	mg, err := decomine.OpenMappedGraph(path)
+	if err != nil {
+		return err
+	}
+	defer mg.Close()
+
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	prev := debug.SetMemoryLimit(int64(ms.HeapAlloc) + 64<<20)
+	defer debug.SetMemoryLimit(prev)
+
+	sys := decomine.NewSystem(mg, decomine.Options{
+		Threads:            cfg.Threads,
+		Seed:               cfg.Seed,
+		ProfileSampleEdges: 20000,
+		ProfileTrials:      4000,
+		MaxCandidates:      64,
+	})
+	defer sys.Close()
+
+	reg := obs.Default
+	base := reg.Snapshot()
+	count, err := spec.run(sys)
+	if err != nil {
+		return err
+	}
+	if again, err := spec.run(sys); err != nil {
+		return err
+	} else if again != count {
+		return fmt.Errorf("mmap cached re-run disagrees: %d vs %d", again, count)
+	}
+	if count != w.Count {
+		return fmt.Errorf("mmap run disagrees with heap run: %d vs %d", count, w.Count)
+	}
+	instr := reg.CounterDelta(base, "engine.instructions")
+	execNS := reg.CounterDelta(base, "engine.exec_ns")
+	if instr != w.Instructions {
+		return fmt.Errorf("mmap run executed %d instructions, heap run %d: plans diverged", instr, w.Instructions)
+	}
+	if execNS > 0 && w.Throughput > 0 {
+		mmapRate := float64(instr) / (float64(execNS) / 1e9)
+		if mmapRate > 0 {
+			w.MmapThroughputRatio = mmapRate / w.Throughput
 		}
 	}
 	return nil

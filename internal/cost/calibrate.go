@@ -44,6 +44,15 @@ type Units struct {
 	// BitmapElem is the cost of probing one array element against a hub
 	// bitmap row.
 	BitmapElem float64
+	// SlabCrossElem is the extra cost per element of a two-operand
+	// neighbor pass whose operands live in different storage slabs
+	// (weighted by GraphStats.SlabCross, the degree-weighted cross-slab
+	// probability). Zero — the default, kept by Calibrate, which cannot
+	// separate placement misses from element work in the profile —
+	// disables the term so estimates stay bit-identical to the
+	// pre-partitioning formulas; installing a positive weight (via
+	// SetCalibration) lets ranking see placement.
+	SlabCrossElem float64
 }
 
 // DefaultUnits returns the static weights: every cost site priced in

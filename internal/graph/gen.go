@@ -154,16 +154,19 @@ func (g *Graph) WithRandomLabels(numLabels int, seed int64) *Graph {
 		}
 		labels[v] = uint32(lo)
 	}
-	// Shallow copy: adjacency (and therefore the degree cache and hub
-	// bitmap index) is shared with the receiver.
-	return &Graph{offsets: g.offsets, adj: g.adj, labels: labels, name: g.name + "-labeled",
-		maxDeg: g.maxDeg, avgDeg: g.avgDeg, hub: g.hub}
+	// Shallow copy: slabs (and therefore the degree cache and hub bitmap
+	// index) are shared with the receiver.
+	ng := *g
+	ng.setLabels(labels)
+	ng.name = g.name + "-labeled"
+	return &ng
 }
 
 // Rename returns a shallow copy of g with a new dataset name.
 func (g *Graph) Rename(name string) *Graph {
-	return &Graph{offsets: g.offsets, adj: g.adj, labels: g.labels, name: name,
-		maxDeg: g.maxDeg, avgDeg: g.avgDeg, hub: g.hub}
+	ng := *g
+	ng.name = name
+	return &ng
 }
 
 // SampleEdges returns m distinct edges sampled uniformly without

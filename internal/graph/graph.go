@@ -3,6 +3,13 @@
 // sorted adjacency lists, optional vertex labels, loaders for edge-list
 // text formats, synthetic generators used by the experiment harness, and
 // uniform edge sampling for the approximate-mining cost model.
+//
+// Storage is partitioned: vertices are bucketed into degree-ordered
+// slabs (see slab.go), each owning its offsets/adjacency behind a
+// slabStore that is either heap-resident or a window of an mmap-backed
+// slab file (slabfile.go), so graphs larger than RAM mine out-of-core.
+// The partition is invisible to accessors — Neighbors/Degree/HasEdge
+// return bit-identical answers for any slab count or backing store.
 package graph
 
 import (
@@ -14,24 +21,34 @@ import (
 // lists are strictly increasing, duplicate edges and self loops have been
 // removed at construction. Vertex IDs are dense in [0, NumVertices).
 type Graph struct {
-	offsets []int64  // len NumVertices+1
-	adj     []uint32 // concatenated sorted adjacency lists
-	labels  []uint32 // optional; nil for unlabeled graphs
-	name    string
-	// maxDeg/avgDeg are cached at Build time: both sit on hot
-	// configuration paths (VM arena sizing, hub threshold selection).
-	maxDeg int
-	avgDeg float64
+	// slabs hold the offsets/adjacency storage, partitioned by degree
+	// order; slabOf/localIdx map a vertex ID to (slab, position) in two
+	// loads on the Neighbors hot path.
+	slabs    []slab
+	slabOf   []uint8  // len NumVertices
+	localIdx []uint32 // len NumVertices
+	adjTotal int64    // total directed adjacency entries, 2|E|
+	labels   []uint32 // optional; nil for unlabeled graphs
+	name     string
+	// maxDeg/avgDeg/numLabels are cached at Build time: all sit on hot
+	// configuration paths (VM arena sizing, hub threshold selection,
+	// cost-model statistics).
+	maxDeg    int
+	avgDeg    float64
+	numLabels int
 	// hub holds the hub bitmap index (see hubindex.go), shared by
 	// shallow copies since labels and names do not affect adjacency.
 	hub *hubState
+	// mapping owns the file mapping for mmap-backed graphs; nil for
+	// heap graphs.
+	mapping *mapping
 }
 
 // NumVertices returns |V|.
-func (g *Graph) NumVertices() int { return len(g.offsets) - 1 }
+func (g *Graph) NumVertices() int { return len(g.slabOf) }
 
 // NumEdges returns |E| (each undirected edge counted once).
-func (g *Graph) NumEdges() int64 { return int64(len(g.adj)) / 2 }
+func (g *Graph) NumEdges() int64 { return g.adjTotal / 2 }
 
 // Name returns the dataset name attached at construction (may be empty).
 func (g *Graph) Name() string { return g.name }
@@ -39,12 +56,16 @@ func (g *Graph) Name() string { return g.name }
 // Neighbors returns the sorted adjacency list of v. The returned slice
 // aliases the graph's internal storage and must not be modified.
 func (g *Graph) Neighbors(v uint32) []uint32 {
-	return g.adj[g.offsets[v]:g.offsets[v+1]]
+	sl := &g.slabs[g.slabOf[v]]
+	li := g.localIdx[v]
+	return sl.adj[sl.offsets[li]:sl.offsets[li+1]]
 }
 
 // Degree returns deg(v).
 func (g *Graph) Degree(v uint32) int {
-	return int(g.offsets[v+1] - g.offsets[v])
+	sl := &g.slabs[g.slabOf[v]]
+	li := g.localIdx[v]
+	return int(sl.offsets[li+1] - sl.offsets[li])
 }
 
 // HasEdge reports whether {u,v} is an edge, via binary search on the
@@ -69,16 +90,28 @@ func (g *Graph) Label(v uint32) uint32 {
 	return g.labels[v]
 }
 
-// NumLabels returns the number of distinct labels (0 for unlabeled graphs).
-func (g *Graph) NumLabels() int {
-	if g.labels == nil {
+// NumLabels returns the number of distinct labels (0 for unlabeled
+// graphs), cached at construction.
+func (g *Graph) NumLabels() int { return g.numLabels }
+
+// countLabels computes the distinct-label count cached in numLabels.
+func countLabels(labels []uint32) int {
+	if labels == nil {
 		return 0
 	}
-	seen := map[uint32]bool{}
-	for _, l := range g.labels {
-		seen[l] = true
+	seen := make(map[uint32]struct{})
+	for _, l := range labels {
+		seen[l] = struct{}{}
 	}
 	return len(seen)
+}
+
+// setLabels attaches labels and refreshes the cached distinct count.
+// Internal: the public immutability contract still holds for finished
+// graphs handed to the engine.
+func (g *Graph) setLabels(labels []uint32) {
+	g.labels = labels
+	g.numLabels = countLabels(labels)
 }
 
 // MaxDegree returns the maximum vertex degree (cached at Build time).
@@ -125,6 +158,7 @@ type Builder struct {
 	dst    []uint32
 	labels []uint32
 	name   string
+	slabs  int
 }
 
 // NewBuilder creates a builder for a graph with n vertices.
@@ -135,6 +169,14 @@ func NewBuilder(n int) *Builder {
 // SetName attaches a dataset name.
 func (b *Builder) SetName(name string) *Builder {
 	b.name = name
+	return b
+}
+
+// SetSlabs requests a partition count for the built graph (<= 0, the
+// default, selects the automatic volume-based count; clamped to
+// MaxSlabs).
+func (b *Builder) SetSlabs(p int) *Builder {
+	b.slabs = p
 	return b
 }
 
@@ -158,7 +200,7 @@ func (b *Builder) SetLabels(labels []uint32) *Builder {
 	return b
 }
 
-// Build materializes the CSR graph.
+// Build materializes the partitioned CSR graph.
 func (b *Builder) Build() (*Graph, error) {
 	if b.labels != nil && len(b.labels) != b.n {
 		return nil, fmt.Errorf("graph: %d labels for %d vertices", len(b.labels), b.n)
@@ -211,20 +253,21 @@ func (b *Builder) Build() (*Graph, error) {
 	}
 	newOffsets[b.n] = w
 	g := &Graph{
-		offsets: newOffsets,
-		adj:     adj[:w:w],
-		labels:  b.labels,
-		name:    b.name,
-		hub:     &hubState{},
+		adjTotal:  w,
+		labels:    b.labels,
+		name:      b.name,
+		numLabels: countLabels(b.labels),
+		hub:       &hubState{},
 	}
 	for v := 0; v < b.n; v++ {
-		if d := g.Degree(uint32(v)); d > g.maxDeg {
+		if d := int(newOffsets[v+1] - newOffsets[v]); d > g.maxDeg {
 			g.maxDeg = d
 		}
 	}
 	if b.n > 0 {
 		g.avgDeg = float64(w) / float64(b.n)
 	}
+	g.slabs, g.slabOf, g.localIdx = partitionCSR(b.n, newOffsets, adj[:w], b.slabs)
 	// Hub bitmap index: built here (not lazily) so the immutable Graph
 	// contract holds on the mining hot path. With no vertex at the
 	// default threshold this costs one degree scan and keeps no rows.

@@ -71,7 +71,7 @@ func LoadEdgeListFile(path string) (*Graph, error) {
 	if err != nil {
 		return nil, err
 	}
-	g.labels = labels
+	g.setLabels(labels)
 	return g, nil
 }
 

@@ -1,0 +1,25 @@
+//go:build !unix
+
+package graph
+
+import (
+	"io"
+	"os"
+	"unsafe"
+)
+
+// mapFile fallback for platforms without syscall.Mmap: read the whole
+// file into an 8-aligned heap buffer. Same decode path, no out-of-core
+// behavior.
+func mapFile(f *os.File, size int64) ([]byte, func([]byte) error, error) {
+	words := (size + 7) / 8
+	if words == 0 {
+		words = 1
+	}
+	backing := make([]uint64, words)
+	buf := unsafe.Slice((*byte)(unsafe.Pointer(&backing[0])), size)
+	if _, err := io.ReadFull(f, buf); err != nil {
+		return nil, nil, err
+	}
+	return buf, nil, nil
+}

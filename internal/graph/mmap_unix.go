@@ -1,0 +1,18 @@
+//go:build unix
+
+package graph
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile maps size bytes of f read-only. The returned release func
+// unmaps; the descriptor may be closed as soon as the mapping exists.
+func mapFile(f *os.File, size int64) ([]byte, func([]byte) error, error) {
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, syscall.Munmap, nil
+}

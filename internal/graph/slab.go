@@ -1,0 +1,244 @@
+package graph
+
+import (
+	"sort"
+	"unsafe"
+)
+
+// MaxSlabs caps the partition count: slab IDs must fit the per-vertex
+// uint8 slabOf map, and past a few dozen slabs the scheduler's affinity
+// preference stops mattering (every steal crosses slabs anyway).
+const MaxSlabs = 64
+
+// slabAdjTarget is the automatic partitioner's per-slab adjacency
+// volume: 16384 uint32 entries, 64 KiB — roughly one L2-resident chunk,
+// so a worker parked on a slab re-reads warm lines. Small graphs get a
+// single slab and pay nothing.
+const slabAdjTarget = 1 << 14
+
+// slabStore owns the raw bytes behind one slab's offsets/adjacency
+// arrays. The two implementations are heapSlab (in-process allocation)
+// and mappedSlab (a window of a read-only file mapping), letting the
+// same Graph accessors serve in-memory and out-of-core graphs.
+type slabStore interface {
+	// bytes returns the slab's backing buffer. The buffer is 8-byte
+	// aligned: (verts+1) native-layout int64 offsets followed by adjLen
+	// uint32 adjacency entries.
+	bytes() []byte
+	// release drops the store's resources. Heap slabs are GC-managed
+	// no-ops; mapped slabs are released by the owning Graph's Close.
+	release()
+}
+
+// heapSlab is the in-memory slabStore. The buffer is carved from a
+// []uint64 allocation so the int64/uint32 views are always aligned.
+type heapSlab struct {
+	buf []byte
+}
+
+func newHeapSlab(size int) *heapSlab {
+	words := (size + 7) / 8
+	if words == 0 {
+		words = 1
+	}
+	backing := make([]uint64, words)
+	return &heapSlab{buf: unsafe.Slice((*byte)(unsafe.Pointer(&backing[0])), size)}
+}
+
+func (h *heapSlab) bytes() []byte { return h.buf }
+func (h *heapSlab) release()      {}
+
+// mappedSlab is a window of an mmap-backed slab file. It holds no
+// resources of its own: the Graph's mapping owns the file mapping and
+// unmaps it on Close.
+type mappedSlab struct {
+	data []byte
+}
+
+func (m *mappedSlab) bytes() []byte { return m.data }
+func (m *mappedSlab) release()      {}
+
+// slab is one degree-ordered partition of the graph: a contiguous run
+// of vertices (in partition order, not vertex-ID order) whose offsets
+// and adjacency live together in one store. offsets/adj are typed views
+// into store.bytes(), decoded once at construction.
+type slab struct {
+	store   slabStore
+	offsets []int64  // len verts+1, local prefix sums starting at 0
+	adj     []uint32 // this slab's concatenated adjacency lists
+}
+
+func (s *slab) verts() int { return len(s.offsets) - 1 }
+
+// slabByteSize returns the store buffer size for a slab shape.
+func slabByteSize(verts, adjLen int) int {
+	return (verts+1)*8 + adjLen*4
+}
+
+// viewSlab decodes a slab buffer into its offsets/adjacency views.
+// buf must be 8-byte aligned and at least slabByteSize(verts, adjLen)
+// bytes long.
+func viewSlab(buf []byte, verts, adjLen int) (offsets []int64, adj []uint32) {
+	offsets = unsafe.Slice((*int64)(unsafe.Pointer(&buf[0])), verts+1)
+	if adjLen > 0 {
+		adj = unsafe.Slice((*uint32)(unsafe.Pointer(&buf[(verts+1)*8])), adjLen)
+	}
+	return offsets, adj
+}
+
+// defaultSlabCount picks the automatic partition count from the
+// adjacency volume: one slab per slabAdjTarget entries, clamped to
+// [1, MaxSlabs] and never more slabs than vertices.
+func defaultSlabCount(n int, adjLen int64) int {
+	p := int(adjLen / slabAdjTarget)
+	if p < 1 {
+		p = 1
+	}
+	if p > MaxSlabs {
+		p = MaxSlabs
+	}
+	if n > 0 && p > n {
+		p = n
+	}
+	return p
+}
+
+// partitionCSR splits a flat CSR (offsets/adj over n vertices) into at
+// most p degree-ordered slabs. Vertices are ranked by descending degree
+// (ties by ascending ID, so the partition is deterministic) and dealt
+// into slabs front to back, cutting a new slab each time the current
+// one reaches its adjacency-volume share — hubs therefore concentrate
+// in slab 0. p <= 0 selects defaultSlabCount. Per-vertex neighbor
+// lists are byte-identical to the flat input; only their physical
+// placement changes.
+func partitionCSR(n int, offsets []int64, adj []uint32, p int) (slabs []slab, slabOf []uint8, localIdx []uint32) {
+	total := offsets[n]
+	if p <= 0 {
+		p = defaultSlabCount(n, total)
+	}
+	if p > MaxSlabs {
+		p = MaxSlabs
+	}
+	if n > 0 && p > n {
+		p = n
+	}
+	if p < 1 {
+		p = 1
+	}
+	order := make([]uint32, n)
+	for i := range order {
+		order[i] = uint32(i)
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		di := offsets[order[i]+1] - offsets[order[i]]
+		dj := offsets[order[j]+1] - offsets[order[j]]
+		if di != dj {
+			return di > dj
+		}
+		return order[i] < order[j]
+	})
+	// Greedy volume cuts: slab s closes once the cumulative adjacency
+	// volume crosses (s+1)/p of the total. A single hub heavier than the
+	// share still lands alone in its slab rather than overflowing two.
+	starts := []int{0}
+	var vol int64
+	for i := 0; i < n && len(starts) < p; i++ {
+		vol += offsets[order[i]+1] - offsets[order[i]]
+		if vol*int64(p) >= total*int64(len(starts)) && i+1 < n {
+			starts = append(starts, i+1)
+		}
+	}
+	numSlabs := len(starts)
+	slabs = make([]slab, numSlabs)
+	slabOf = make([]uint8, n)
+	localIdx = make([]uint32, n)
+	for s := 0; s < numSlabs; s++ {
+		lo := starts[s]
+		hi := n
+		if s+1 < numSlabs {
+			hi = starts[s+1]
+		}
+		verts := hi - lo
+		var adjLen int64
+		for _, v := range order[lo:hi] {
+			adjLen += offsets[v+1] - offsets[v]
+		}
+		store := newHeapSlab(slabByteSize(verts, int(adjLen)))
+		so, sa := viewSlab(store.bytes(), verts, int(adjLen))
+		w := int64(0)
+		for i, v := range order[lo:hi] {
+			so[i] = w
+			w += int64(copy(sa[w:], adj[offsets[v]:offsets[v+1]]))
+			slabOf[v] = uint8(s)
+			localIdx[v] = uint32(i)
+		}
+		so[verts] = w
+		slabs[s] = slab{store: store, offsets: so, adj: sa}
+	}
+	return slabs, slabOf, localIdx
+}
+
+// NumSlabs returns the number of storage partitions backing the graph.
+func (g *Graph) NumSlabs() int { return len(g.slabs) }
+
+// SlabOf returns the partition that owns v's adjacency storage. Slab 0
+// holds the highest-degree vertices.
+func (g *Graph) SlabOf(v uint32) int { return int(g.slabOf[v]) }
+
+// SlabShares returns each slab's fraction of the total adjacency
+// volume. Feeds the cost model's locality term; the squared-sum of
+// shares is the probability two independent degree-weighted vertex
+// draws land in the same slab.
+func (g *Graph) SlabShares() []float64 {
+	shares := make([]float64, len(g.slabs))
+	if g.adjTotal == 0 {
+		return shares
+	}
+	for i := range g.slabs {
+		shares[i] = float64(len(g.slabs[i].adj)) / float64(g.adjTotal)
+	}
+	return shares
+}
+
+// Mapped reports whether the graph's slabs are mmap-backed (opened with
+// OpenMapped) rather than heap-resident.
+func (g *Graph) Mapped() bool { return g.mapping != nil }
+
+// Close releases an mmap-backed graph's file mapping. It is a no-op for
+// heap graphs. The graph (and every shallow copy sharing its slabs)
+// must not be used after Close.
+func (g *Graph) Close() error {
+	if g.mapping == nil {
+		return nil
+	}
+	m := g.mapping
+	g.mapping = nil
+	return m.close()
+}
+
+// flatten rebuilds the flat CSR arrays (vertex-ID order) from the
+// slabs. Used by Reslab and the slab-file writer; not a hot path.
+func (g *Graph) flatten() (offsets []int64, adj []uint32) {
+	n := g.NumVertices()
+	offsets = make([]int64, n+1)
+	adj = make([]uint32, g.adjTotal)
+	w := int64(0)
+	for v := 0; v < n; v++ {
+		offsets[v] = w
+		w += int64(copy(adj[w:], g.Neighbors(uint32(v))))
+	}
+	offsets[n] = w
+	return offsets, adj
+}
+
+// Reslab returns a copy of g repartitioned into at most p degree-ordered
+// heap slabs (p <= 0 selects the automatic count). Labels, cached
+// degree statistics, and the hub bitmap index are shared with the
+// receiver — adjacency content is unchanged, only its placement moves.
+func (g *Graph) Reslab(p int) *Graph {
+	offsets, adj := g.flatten()
+	ng := *g
+	ng.mapping = nil
+	ng.slabs, ng.slabOf, ng.localIdx = partitionCSR(g.NumVertices(), offsets, adj, p)
+	return &ng
+}

@@ -1,0 +1,246 @@
+package graph
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"decomine/internal/vset"
+)
+
+// requireSameGraph asserts a and b answer every accessor identically —
+// the bit-identical contract the slab refactor must keep regardless of
+// partition count or backing store.
+func requireSameGraph(t *testing.T, a, b *Graph) {
+	t.Helper()
+	if a.NumVertices() != b.NumVertices() || a.NumEdges() != b.NumEdges() {
+		t.Fatalf("size mismatch: %d/%d vs %d/%d", a.NumVertices(), a.NumEdges(), b.NumVertices(), b.NumEdges())
+	}
+	if a.MaxDegree() != b.MaxDegree() || a.AvgDegree() != b.AvgDegree() {
+		t.Fatalf("degree stats mismatch: %d/%.3f vs %d/%.3f", a.MaxDegree(), a.AvgDegree(), b.MaxDegree(), b.AvgDegree())
+	}
+	if a.Labeled() != b.Labeled() || a.NumLabels() != b.NumLabels() {
+		t.Fatalf("label stats mismatch")
+	}
+	for v := 0; v < a.NumVertices(); v++ {
+		u := uint32(v)
+		if a.Degree(u) != b.Degree(u) {
+			t.Fatalf("Degree(%d): %d vs %d", v, a.Degree(u), b.Degree(u))
+		}
+		if !vset.Equal(a.Neighbors(u), b.Neighbors(u)) {
+			t.Fatalf("Neighbors(%d): %v vs %v", v, a.Neighbors(u), b.Neighbors(u))
+		}
+		if a.Label(u) != b.Label(u) {
+			t.Fatalf("Label(%d): %d vs %d", v, a.Label(u), b.Label(u))
+		}
+	}
+	// Spot-check HasEdge on a deterministic probe set including
+	// non-edges.
+	n := uint32(a.NumVertices())
+	for v := uint32(0); v < n; v++ {
+		for _, w := range []uint32{0, v / 2, n - 1 - v%n} {
+			if a.HasEdge(v, w) != b.HasEdge(v, w) {
+				t.Fatalf("HasEdge(%d,%d) differs", v, w)
+			}
+		}
+	}
+}
+
+// requireSameHubRows compares hub bitmap rows between two backends
+// after forcing the same explicit threshold.
+func requireSameHubRows(t *testing.T, a, b *Graph, threshold int) {
+	t.Helper()
+	ia := a.BuildHubIndex(threshold)
+	ib := b.BuildHubIndex(threshold)
+	if (ia == nil) != (ib == nil) {
+		t.Fatalf("hub index presence differs: %v vs %v", ia != nil, ib != nil)
+	}
+	if ia == nil {
+		return
+	}
+	if ia.NumHubs() != ib.NumHubs() || ia.CoveredDegree() != ib.CoveredDegree() {
+		t.Fatalf("hub stats differ: %d/%d vs %d/%d", ia.NumHubs(), ia.CoveredDegree(), ib.NumHubs(), ib.CoveredDegree())
+	}
+	for v := 0; v < a.NumVertices(); v++ {
+		ra, rb := ia.Row(uint32(v)), ib.Row(uint32(v))
+		if (ra == nil) != (rb == nil) {
+			t.Fatalf("hub row presence differs at %d", v)
+		}
+		for i := range ra {
+			if ra[i] != rb[i] {
+				t.Fatalf("hub row %d word %d differs", v, i)
+			}
+		}
+	}
+}
+
+func TestPartitionDeterministic(t *testing.T) {
+	g1 := RMAT(9, 8, 3).Reslab(8)
+	g2 := RMAT(9, 8, 3).Reslab(8)
+	if g1.NumSlabs() != g2.NumSlabs() {
+		t.Fatalf("slab counts differ: %d vs %d", g1.NumSlabs(), g2.NumSlabs())
+	}
+	for v := 0; v < g1.NumVertices(); v++ {
+		if g1.SlabOf(uint32(v)) != g2.SlabOf(uint32(v)) {
+			t.Fatalf("SlabOf(%d) differs", v)
+		}
+	}
+}
+
+func TestHubsConcentrateInSlabZero(t *testing.T) {
+	g := RMAT(10, 8, 7).Reslab(8)
+	if g.NumSlabs() < 2 {
+		t.Fatalf("want multiple slabs, got %d", g.NumSlabs())
+	}
+	if g.NumSlabs() > MaxSlabs {
+		t.Fatalf("slab count %d above cap", g.NumSlabs())
+	}
+	// Every vertex with the max degree lives in slab 0, and slab 0's
+	// minimum degree is >= every other slab's maximum degree (the
+	// partition is degree-ordered).
+	minDegPerSlab := make([]int, g.NumSlabs())
+	maxDegPerSlab := make([]int, g.NumSlabs())
+	for i := range minDegPerSlab {
+		minDegPerSlab[i] = 1 << 30
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		s, d := g.SlabOf(uint32(v)), g.Degree(uint32(v))
+		if d < minDegPerSlab[s] {
+			minDegPerSlab[s] = d
+		}
+		if d > maxDegPerSlab[s] {
+			maxDegPerSlab[s] = d
+		}
+		if d == g.MaxDegree() && s != 0 {
+			t.Fatalf("max-degree vertex %d in slab %d", v, s)
+		}
+	}
+	for s := 1; s < g.NumSlabs(); s++ {
+		if maxDegPerSlab[s] > minDegPerSlab[s-1] {
+			t.Fatalf("slab %d max degree %d exceeds slab %d min %d", s, maxDegPerSlab[s], s-1, minDegPerSlab[s-1])
+		}
+	}
+	shares := g.SlabShares()
+	var sum float64
+	for _, s := range shares {
+		sum += s
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("slab shares sum to %f", sum)
+	}
+}
+
+func TestReslabPreservesAnswers(t *testing.T) {
+	base := RMAT(9, 6, 11).WithRandomLabels(4, 2)
+	for _, p := range []int{1, 2, 7, MaxSlabs, MaxSlabs + 50} {
+		re := base.Reslab(p)
+		if re.NumSlabs() > MaxSlabs {
+			t.Fatalf("Reslab(%d) gave %d slabs", p, re.NumSlabs())
+		}
+		requireSameGraph(t, base, re)
+	}
+}
+
+func TestSlabFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	base := RMAT(9, 8, 5).WithRandomLabels(3, 9).Rename("rmat-rt")
+	g := base.Reslab(6)
+	path := filepath.Join(dir, "g.slab")
+	if err := g.WriteSlabFile(path); err != nil {
+		t.Fatal(err)
+	}
+	mg, err := OpenMapped(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mg.Close()
+	if !mg.Mapped() {
+		t.Log("platform without mmap: heap fallback in use")
+	}
+	if mg.Name() != "rmat-rt" {
+		t.Fatalf("name %q", mg.Name())
+	}
+	if mg.NumSlabs() != g.NumSlabs() {
+		t.Fatalf("slab count %d vs %d", mg.NumSlabs(), g.NumSlabs())
+	}
+	requireSameGraph(t, g, mg)
+	requireSameHubRows(t, g.Reslab(4), mg, 8)
+}
+
+func TestSlabFileUnlabeledAndEmpty(t *testing.T) {
+	dir := t.TempDir()
+	for name, g := range map[string]*Graph{
+		"plain": testGraph(),
+		"empty": FromEdges(0, nil),
+	} {
+		path := filepath.Join(dir, name+".slab")
+		if err := g.WriteSlabFile(path); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		mg, err := OpenMapped(path)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		requireSameGraph(t, g, mg)
+		mg.Close()
+	}
+}
+
+func TestOpenMappedErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := OpenMapped(filepath.Join(dir, "missing.slab")); err == nil {
+		t.Error("want error for missing file")
+	}
+	junk := filepath.Join(dir, "junk.slab")
+	if err := os.WriteFile(junk, make([]byte, 256), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenMapped(junk); err == nil {
+		t.Error("want error for bad magic")
+	}
+	// Truncated: valid header region cut short.
+	good := filepath.Join(dir, "good.slab")
+	if err := RMAT(8, 4, 1).WriteSlabFile(good); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trunc := filepath.Join(dir, "trunc.slab")
+	if err := os.WriteFile(trunc, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenMapped(trunc); err == nil {
+		t.Error("want error for truncated file")
+	}
+}
+
+func TestReslabSharesHubIndex(t *testing.T) {
+	g := RMAT(10, 16, 3) // skewed enough for the default hub threshold
+	re := g.Reslab(8)
+	if g.HubIndex() != re.HubIndex() {
+		t.Fatal("Reslab rebuilt the hub index instead of sharing it")
+	}
+}
+
+func FuzzSlabBackends(f *testing.F) {
+	f.Add(int64(1), uint8(3))
+	f.Add(int64(42), uint8(1))
+	f.Add(int64(7), uint8(16))
+	f.Fuzz(func(t *testing.T, seed int64, p uint8) {
+		g := GNP(120, 0.08, seed)
+		re := g.Reslab(int(p))
+		requireSameGraph(t, g, re)
+		path := filepath.Join(t.TempDir(), "f.slab")
+		if err := re.WriteSlabFile(path); err != nil {
+			t.Fatal(err)
+		}
+		mg, err := OpenMapped(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer mg.Close()
+		requireSameGraph(t, g, mg)
+	})
+}

@@ -1,0 +1,378 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+	"unsafe"
+)
+
+// Slab file format ("DMSLAB01"), the out-of-core on-disk twin of the
+// in-memory partition layout. All integers are little-endian; blob
+// payloads are the native slab layout so OpenMapped can serve them
+// zero-copy through mmap. Sections, each starting 8-byte aligned:
+//
+//	header (64 B): magic "DMSLAB01", flags (bit0 = labeled),
+//	  numVertices, numSlabs, adjTotal, maxDeg, avgDeg (Float64bits),
+//	  numLabels — all uint64
+//	name: uint64 length + bytes, zero-padded to 8
+//	slab table: numSlabs × {verts, adjLen, blobOff} uint64
+//	slabOf: numVertices bytes, zero-padded to 8
+//	localIdx: numVertices × uint32, zero-padded to 8
+//	labels (iff flags bit0): numVertices × uint32, zero-padded to 8
+//	blobs: per slab at its blobOff, (verts+1) int64 local offsets then
+//	  adjLen uint32 adjacency entries, zero-padded to 8
+//
+// Slab files are a trusted format (written by this package or
+// cmd/graphgen): loads validate structure and section bounds but not
+// every per-vertex index, so a hand-corrupted file can make accessors
+// panic (never read out of the mapping, thanks to slice bounds).
+const slabMagic = "DMSLAB01"
+
+const slabFlagLabeled = 1
+
+// mapping owns the byte range backing an mmap-backed graph's slabs.
+type mapping struct {
+	data  []byte
+	unmap func([]byte) error
+}
+
+func (m *mapping) close() error {
+	d := m.data
+	m.data = nil
+	if m.unmap == nil || d == nil {
+		return nil
+	}
+	return m.unmap(d)
+}
+
+func hostLittleEndian() bool {
+	x := uint16(1)
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}
+
+func pad8(n int64) int64 { return (n + 7) &^ 7 }
+
+// slabWriter wraps a bufio.Writer with little-endian element encoding
+// and position tracking for the section layout.
+type slabWriter struct {
+	w       *bufio.Writer
+	pos     int64
+	err     error
+	scratch []byte
+}
+
+func (sw *slabWriter) raw(b []byte) {
+	if sw.err != nil {
+		return
+	}
+	_, sw.err = sw.w.Write(b)
+	sw.pos += int64(len(b))
+}
+
+func (sw *slabWriter) u64(x uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], x)
+	sw.raw(b[:])
+}
+
+func (sw *slabWriter) pad() {
+	if rem := sw.pos & 7; rem != 0 {
+		var z [8]byte
+		sw.raw(z[:8-rem])
+	}
+}
+
+func (sw *slabWriter) u32s(xs []uint32) {
+	if sw.scratch == nil {
+		sw.scratch = make([]byte, 1<<16)
+	}
+	for len(xs) > 0 {
+		n := len(sw.scratch) / 4
+		if n > len(xs) {
+			n = len(xs)
+		}
+		for i := 0; i < n; i++ {
+			binary.LittleEndian.PutUint32(sw.scratch[i*4:], xs[i])
+		}
+		sw.raw(sw.scratch[:n*4])
+		xs = xs[n:]
+	}
+}
+
+func (sw *slabWriter) i64s(xs []int64) {
+	if sw.scratch == nil {
+		sw.scratch = make([]byte, 1<<16)
+	}
+	for len(xs) > 0 {
+		n := len(sw.scratch) / 8
+		if n > len(xs) {
+			n = len(xs)
+		}
+		for i := 0; i < n; i++ {
+			binary.LittleEndian.PutUint64(sw.scratch[i*8:], uint64(xs[i]))
+		}
+		sw.raw(sw.scratch[:n*8])
+		xs = xs[n:]
+	}
+}
+
+// WriteSlabFile serializes the graph — with its current partition — to
+// a binary slab file that OpenMapped can serve via mmap without
+// parsing. Pair with Reslab (or Builder.SetSlabs) to choose the
+// partition count before writing.
+func (g *Graph) WriteSlabFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	sw := &slabWriter{w: bufio.NewWriterSize(f, 1<<20)}
+	n := int64(g.NumVertices())
+	numSlabs := int64(g.NumSlabs())
+	// Lay out section offsets ahead of writing.
+	nameBytes := []byte(g.name)
+	off := int64(64)                       // header
+	off += pad8(8 + int64(len(nameBytes))) // name
+	off += numSlabs * 24                   // slab table
+	off += pad8(n)                         // slabOf
+	off += pad8(n * 4)                     // localIdx
+	if g.labels != nil {
+		off += pad8(n * 4)
+	}
+	blobOffs := make([]int64, numSlabs)
+	for i := range g.slabs {
+		blobOffs[i] = off
+		off += pad8(int64(slabByteSize(g.slabs[i].verts(), len(g.slabs[i].adj))))
+	}
+	var flags uint64
+	if g.labels != nil {
+		flags |= slabFlagLabeled
+	}
+	sw.raw([]byte(slabMagic))
+	sw.u64(flags)
+	sw.u64(uint64(n))
+	sw.u64(uint64(numSlabs))
+	sw.u64(uint64(g.adjTotal))
+	sw.u64(uint64(g.maxDeg))
+	sw.u64(math.Float64bits(g.avgDeg))
+	sw.u64(uint64(g.numLabels))
+	sw.u64(uint64(len(nameBytes)))
+	sw.raw(nameBytes)
+	sw.pad()
+	for i := range g.slabs {
+		sw.u64(uint64(g.slabs[i].verts()))
+		sw.u64(uint64(len(g.slabs[i].adj)))
+		sw.u64(uint64(blobOffs[i]))
+	}
+	sw.raw(g.slabOf)
+	sw.pad()
+	sw.u32s(g.localIdx)
+	sw.pad()
+	if g.labels != nil {
+		sw.u32s(g.labels)
+		sw.pad()
+	}
+	for i := range g.slabs {
+		if sw.pos != blobOffs[i] {
+			sw.err = fmt.Errorf("graph: slab %d blob at %d, laid out at %d", i, sw.pos, blobOffs[i])
+			break
+		}
+		sw.i64s(g.slabs[i].offsets)
+		sw.u32s(g.slabs[i].adj)
+		sw.pad()
+	}
+	if sw.err == nil {
+		sw.err = sw.w.Flush()
+	}
+	if cerr := f.Close(); sw.err == nil {
+		sw.err = cerr
+	}
+	return sw.err
+}
+
+// slabReader walks a mapped slab file with bounds checking.
+type slabReader struct {
+	data []byte
+	pos  int64
+}
+
+func (sr *slabReader) take(n int64) ([]byte, error) {
+	if n < 0 || sr.pos+n > int64(len(sr.data)) {
+		return nil, fmt.Errorf("graph: slab file truncated at offset %d (+%d of %d)", sr.pos, n, len(sr.data))
+	}
+	b := sr.data[sr.pos : sr.pos+n]
+	sr.pos += n
+	return b, nil
+}
+
+func (sr *slabReader) u64() (uint64, error) {
+	b, err := sr.take(8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b), nil
+}
+
+func (sr *slabReader) pad() { sr.pos = pad8(sr.pos) }
+
+// OpenMapped opens a slab file written by WriteSlabFile and returns a
+// graph whose slabs are read-only windows of the file mapping: the
+// kernel pages adjacency in on demand and evicts it under memory
+// pressure, so the graph can be far larger than RAM (and than
+// GOMEMLIMIT — mapped pages are not Go heap). Close releases the
+// mapping. On platforms without mmap the file is read into the heap
+// instead, same semantics minus the out-of-core behavior.
+func OpenMapped(path string) (*Graph, error) {
+	if !hostLittleEndian() {
+		return nil, fmt.Errorf("graph: slab files are little-endian; unsupported on big-endian hosts")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	if st.Size() < 64 {
+		return nil, fmt.Errorf("graph: %s: too small for a slab file", path)
+	}
+	data, unmap, err := mapFile(f, st.Size())
+	if err != nil {
+		return nil, fmt.Errorf("graph: mapping %s: %v", path, err)
+	}
+	m := &mapping{data: data, unmap: unmap}
+	g, err := decodeSlabFile(data)
+	if err != nil {
+		m.close()
+		return nil, fmt.Errorf("graph: %s: %v", path, err)
+	}
+	g.mapping = m
+	return g, nil
+}
+
+func decodeSlabFile(data []byte) (*Graph, error) {
+	sr := &slabReader{data: data}
+	magic, err := sr.take(8)
+	if err != nil {
+		return nil, err
+	}
+	if string(magic) != slabMagic {
+		return nil, fmt.Errorf("bad magic %q (want %q)", magic, slabMagic)
+	}
+	var hdr [7]uint64
+	for i := range hdr {
+		if hdr[i], err = sr.u64(); err != nil {
+			return nil, err
+		}
+	}
+	flags, n64, numSlabs64 := hdr[0], hdr[1], hdr[2]
+	adjTotal, maxDeg, avgBits, numLabels := hdr[3], hdr[4], hdr[5], hdr[6]
+	if flags&^uint64(slabFlagLabeled) != 0 {
+		return nil, fmt.Errorf("unknown flags %#x", flags)
+	}
+	if n64 > math.MaxUint32 {
+		return nil, fmt.Errorf("%d vertices exceeds uint32 IDs", n64)
+	}
+	if numSlabs64 < 1 || numSlabs64 > MaxSlabs {
+		return nil, fmt.Errorf("slab count %d out of range [1,%d]", numSlabs64, MaxSlabs)
+	}
+	n, numSlabs := int(n64), int(numSlabs64)
+	nameLen, err := sr.u64()
+	if err != nil {
+		return nil, err
+	}
+	if nameLen > 1<<20 {
+		return nil, fmt.Errorf("name length %d implausible", nameLen)
+	}
+	name, err := sr.take(int64(nameLen))
+	if err != nil {
+		return nil, err
+	}
+	sr.pad()
+	type slabMeta struct {
+		verts, adjLen, blobOff int64
+	}
+	metas := make([]slabMeta, numSlabs)
+	var vertSum, adjSum int64
+	for i := range metas {
+		v, err1 := sr.u64()
+		a, err2 := sr.u64()
+		o, err3 := sr.u64()
+		if err1 != nil || err2 != nil || err3 != nil {
+			return nil, fmt.Errorf("slab table truncated")
+		}
+		metas[i] = slabMeta{int64(v), int64(a), int64(o)}
+		vertSum += int64(v)
+		adjSum += int64(a)
+	}
+	if vertSum != int64(n) || adjSum != int64(adjTotal) {
+		return nil, fmt.Errorf("slab table sums %d verts/%d adj, header says %d/%d", vertSum, adjSum, n, adjTotal)
+	}
+	slabOf, err := sr.take(int64(n))
+	if err != nil {
+		return nil, err
+	}
+	sr.pad()
+	liBytes, err := sr.take(int64(n) * 4)
+	if err != nil {
+		return nil, err
+	}
+	sr.pad()
+	var labels []uint32
+	if flags&slabFlagLabeled != 0 {
+		lBytes, err := sr.take(int64(n) * 4)
+		if err != nil {
+			return nil, err
+		}
+		sr.pad()
+		if n > 0 {
+			labels = unsafe.Slice((*uint32)(unsafe.Pointer(&lBytes[0])), n)
+		} else {
+			labels = []uint32{}
+		}
+	}
+	var localIdx []uint32
+	if n > 0 {
+		localIdx = unsafe.Slice((*uint32)(unsafe.Pointer(&liBytes[0])), n)
+	}
+	g := &Graph{
+		slabOf:    slabOf,
+		localIdx:  localIdx,
+		adjTotal:  int64(adjTotal),
+		name:      string(name),
+		maxDeg:    int(maxDeg),
+		avgDeg:    math.Float64frombits(avgBits),
+		numLabels: int(numLabels),
+		hub:       &hubState{},
+	}
+	g.labels = labels
+	g.slabs = make([]slab, numSlabs)
+	for i, sm := range metas {
+		if sm.blobOff&7 != 0 {
+			return nil, fmt.Errorf("slab %d blob offset %d not 8-aligned", i, sm.blobOff)
+		}
+		size := int64(slabByteSize(int(sm.verts), int(sm.adjLen)))
+		if sm.blobOff < 0 || sm.blobOff+size > int64(len(data)) {
+			return nil, fmt.Errorf("slab %d blob [%d,+%d) outside file of %d bytes", i, sm.blobOff, size, len(data))
+		}
+		buf := data[sm.blobOff : sm.blobOff+size]
+		off, adj := viewSlab(buf, int(sm.verts), int(sm.adjLen))
+		g.slabs[i] = slab{store: &mappedSlab{data: buf}, offsets: off, adj: adj}
+	}
+	for i := range g.slabs {
+		want := int64(len(g.slabs[i].adj))
+		if got := g.slabs[i].offsets[g.slabs[i].verts()]; got != want {
+			return nil, fmt.Errorf("slab %d offsets end at %d, adjacency has %d entries", i, got, want)
+		}
+	}
+	// Hub bitmap index lives in the heap (it is derived, not stored):
+	// rebuild with the same rule Build uses.
+	if g.maxDeg >= g.DefaultHubThreshold() {
+		g.hub.idx.Store(buildHubIndex(g, g.DefaultHubThreshold()))
+	}
+	return g, nil
+}

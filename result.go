@@ -74,6 +74,8 @@ func execStatsFromResult(res *engine.Result) ExecStats {
 	}
 	st.Steals = res.Steals
 	st.Splits = res.Splits
+	st.SlabHits = res.SlabHits
+	st.SlabMisses = res.SlabMisses
 	st.Profile = res.Profile
 	return st
 }
