@@ -89,6 +89,12 @@ func main() {
 		if w.MmapThroughputRatio > 0 {
 			fmt.Printf("  mmap-ratio=%.2fx", w.MmapThroughputRatio)
 		}
+		if w.AuxSpeedup > 0 {
+			fmt.Printf("  aux-speedup=%.2fx", w.AuxSpeedup)
+		}
+		if w.AuxElemsOff > 0 && w.AuxElemsOn > 0 {
+			fmt.Printf("  aux-work=%.2fx", float64(w.AuxElemsOff)/float64(w.AuxElemsOn))
+		}
 		fmt.Println()
 	}
 

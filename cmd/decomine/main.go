@@ -57,6 +57,7 @@ func main() {
 	mmapFlag := flag.Bool("mmap", false, "treat -graph as a binary slab file and serve it via mmap (implied by a .slab extension)")
 	slabs := flag.Int("slabs", 0, "repartition an in-memory graph into this many degree-ordered slabs (0 = keep the build-time partition)")
 	memBudget := flag.String("mem-budget", "", "soft Go heap limit, e.g. 32MiB or 2GiB (sets the runtime memory limit; mmap-backed graph pages are exempt)")
+	noAux := flag.Bool("no-aux", false, "disable auxiliary-graph materialization (plan choice is unchanged; counts are bit-identical either way)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) < 1 {
@@ -97,9 +98,10 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "graph: %s\n", g)
 	sys := decomine.NewSystem(g, decomine.Options{
-		Threads:   *threads,
-		CostModel: decomine.CostModelKind(*model),
-		Profile:   *profile,
+		Threads:          *threads,
+		CostModel:        decomine.CostModelKind(*model),
+		Profile:          *profile,
+		DisableAuxGraphs: *noAux,
 	})
 
 	switch args[0] {

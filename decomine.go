@@ -83,6 +83,12 @@ type Options struct {
 	// instruction counts are unaffected; results are bit-identical. Used
 	// for differential testing and speedup measurement.
 	DisableHubIndex bool
+	// DisableAuxGraphs turns off the compiler's auxiliary-graph
+	// materialization pass (GraphMini-style pruned-adjacency tables
+	// hoisted above deep loops). Results are bit-identical with the
+	// pass on or off; only per-iteration work changes. Used for
+	// differential testing and speedup measurement.
+	DisableAuxGraphs bool
 	// Seed fixes all randomized choices.
 	Seed int64
 	// Interpreter selects the execution engine (InterpreterVM when
@@ -329,6 +335,7 @@ func (s *System) searchOptions(mode core.Mode, induced bool) core.SearchOptions 
 		DisableOptimize:      s.opts.DisableOptimize,
 		DisableCountLastLoop: s.opts.DisableCountLastLoop,
 		MaxCandidates:        s.opts.MaxCandidates,
+		DisableAuxGraphs:     s.opts.DisableAuxGraphs,
 	}
 }
 
@@ -637,9 +644,13 @@ func (s *System) Explain(p *Pattern) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	return fmt.Sprintf("pattern: %s\nchosen: %s\nestimated cost: %.3g (best of %d candidates, model %s)\n\n%s\nbytecode:\n%s",
+	aux := core.PlanAuxSummary(e.plan)
+	if aux != "" {
+		aux = "auxiliary graphs:\n" + aux + "\n"
+	}
+	return fmt.Sprintf("pattern: %s\nchosen: %s\nestimated cost: %.3g (best of %d candidates, model %s)\n\n%s\n%sbytecode:\n%s",
 		p, e.plan.Desc, e.cost, e.cands, s.Model().Name(),
-		core.PlanPseudocode(e.plan), core.PlanDisassembly(e.plan)), nil
+		core.PlanPseudocode(e.plan), aux, core.PlanDisassembly(e.plan)), nil
 }
 
 // GoSource emits the selected plan for p as a standalone Go source file

@@ -100,6 +100,15 @@ func GenerateSmallWorld(n, k int, beta float64, seed int64) *Graph {
 	return &Graph{graph.SmallWorld(n, k, beta, seed)}
 }
 
+// GenerateCommunity synthesizes an overlapping-cliques community graph:
+// each vertex joins `memberships` random communities of `size` members,
+// and every community is a clique. Near-uniform degree (no hubs) with
+// extreme local clustering — the workload family where auxiliary-graph
+// materialization wins.
+func GenerateCommunity(n, memberships, size int, seed int64) *Graph {
+	return &Graph{graph.Community(n, memberships, size, seed)}
+}
+
 // WithRandomLabels returns a copy of the graph with numLabels synthetic
 // Zipf-distributed vertex labels.
 func (g *Graph) WithRandomLabels(numLabels int, seed int64) *Graph {

@@ -79,6 +79,11 @@ const (
 	// OpFilterLabelNotOfVar keeps elements of A whose label differs from
 	// the label of the vertex bound to V (all-different constraints).
 	OpFilterLabelNotOfVar
+	// OpAuxRow aliases the destination register to auxiliary table A's
+	// row for the vertex bound to variable V (empty when the vertex has
+	// no row). Produced only by the aux-materialization lowering pass;
+	// it never appears in program trees.
+	OpAuxRow
 )
 
 // ScalarOp enumerates pure scalar operations.

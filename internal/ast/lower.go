@@ -60,6 +60,13 @@ const (
 	// pass: it counts the elements of a set expression without
 	// materializing intermediate sets. See Instr for field use.
 	ICount
+	// IAuxBuild materializes auxiliary table Dst from source register A:
+	// one pruned adjacency row N(v) ∩ sets[A] per element v of sets[A],
+	// rebuilt each time the source's defining loop iteration produces a
+	// new value (per-loop-iteration lifetime). Produced by the
+	// auxiliary-graph pass (aux.go); rows are read through ISetDef
+	// OpAuxRow.
+	IAuxBuild
 	// NumOpcodes is the number of distinct opcodes (sizes counter arrays).
 	NumOpcodes
 )
@@ -67,7 +74,7 @@ const (
 var opNames = [NumOpcodes]string{
 	"loop.begin", "loop.next", "set", "scalar", "reset", "accum",
 	"global.add", "hash.clear", "hash.inc", "hash.get", "cond.skip", "emit",
-	"count",
+	"count", "aux.build",
 }
 
 // String returns the disassembler mnemonic of the opcode.
@@ -97,6 +104,10 @@ func (op OpCode) String() string {
 //	ICount       Dst=scalar, A=base set, B=second set (∩) or -1,
 //	             V=strict lower-bound var or -1, SA=strict upper-bound
 //	             var or -1, Key/NKeys=excluded vars
+//	IAuxBuild    Dst=aux table index, A=source set register
+//
+// ISetDef with Set == OpAuxRow aliases Dst to auxiliary table A's row
+// for vertex variable V (empty when the vertex has no row).
 type Instr struct {
 	Op  OpCode
 	Set SetOp
@@ -152,14 +163,43 @@ type Lowered struct {
 	// NumLoops is the number of ILoopBegin instructions; per-frame loop
 	// iteration state is sized by it.
 	NumLoops int
+	// NumSets is the set-register file size: Prog.NumSets plus the
+	// OpAuxRow alias registers inserted by the auxiliary-graph pass. The
+	// Program itself is never mutated by lowering, so two lowered forms
+	// of one program (aux on/off) can coexist.
+	NumSets int
+	// Aux describes the auxiliary tables materialized by IAuxBuild
+	// instructions, and AuxDecisions every candidate table the pass
+	// considered (applied or rejected), for Explain and the slow-query
+	// log.
+	Aux          []AuxTable
+	AuxDecisions []AuxDecision
+	// AuxDisabled records that the auxiliary-graph pass was switched off
+	// (LowerOpts.DisableAux): AuxDecisions then holds what the arbiter
+	// would have done — kept so plan ranking is identical with the knob
+	// on or off — but nothing was applied.
+	AuxDisabled bool
 }
 
-// Lower flattens a validated program into bytecode. Loop and conditional
-// offsets are resolved to absolute instruction indices; hash and emit
-// keys are pooled into one shared slice. The program must not be mutated
-// afterwards (the lowered form does not track tree edits).
-func Lower(p *Program) *Lowered {
-	l := &Lowered{Prog: p}
+// SetRegs returns the set-register file size of the lowered form
+// (Prog.NumSets plus inserted auxiliary row registers).
+func (l *Lowered) SetRegs() int {
+	if l.NumSets > l.Prog.NumSets {
+		return l.NumSets
+	}
+	return l.Prog.NumSets
+}
+
+// Lower flattens a validated program into bytecode with default options
+// (auxiliary-graph materialization on, structural decision rule).
+func Lower(p *Program) *Lowered { return LowerWith(p, LowerOpts{}) }
+
+// LowerWith flattens a validated program into bytecode. Loop and
+// conditional offsets are resolved to absolute instruction indices; hash
+// and emit keys are pooled into one shared slice. The program must not
+// be mutated afterwards (the lowered form does not track tree edits).
+func LowerWith(p *Program, opts LowerOpts) *Lowered {
+	l := &Lowered{Prog: p, NumSets: p.NumSets}
 	var emit func(n *Node)
 	emit = func(n *Node) {
 		switch n.Kind {
@@ -227,6 +267,7 @@ func Lower(p *Program) *Lowered {
 		l.Segments = append(l.Segments, seg)
 	}
 	l.fuseCounts()
+	l.materializeAux(opts)
 	l.annotateNeighborOperands()
 	obsLowerings.Inc()
 	obsCodeLen.Observe(int64(len(l.Code)))
@@ -281,6 +322,8 @@ func setReads(ins *Instr, dst []int32) []int32 {
 			return append(dst, ins.A, ins.B)
 		case OpNeighbors:
 			return dst
+		case OpAuxRow:
+			return dst // A is a table index, not a set register
 		default: // remove, trims, copy, label filters: unary on A
 			return append(dst, ins.A)
 		}
@@ -294,6 +337,8 @@ func setReads(ins *Instr, dst []int32) []int32 {
 		if ins.B >= 0 {
 			dst = append(dst, ins.B)
 		}
+	case IAuxBuild:
+		return append(dst, ins.A)
 	}
 	return dst
 }
@@ -468,6 +513,9 @@ func (l *Lowered) operandString(ins *Instr) string {
 	case ILoopNext:
 		return fmt.Sprintf("v%d  back->%03d  ; loop %d", ins.Dst, ins.Off+1, ins.LoopID)
 	case ISetDef:
+		if ins.Set == OpAuxRow {
+			return fmt.Sprintf("s%d = a%d[v%d]", ins.Dst, ins.A, ins.V)
+		}
 		n := Node{Op: ins.Set, A: int(ins.A), B: int(ins.B), V: int(ins.V), Imm: ins.Imm}
 		return fmt.Sprintf("s%d = %s", ins.Dst, setOpString(&n))
 	case IScalarDef:
@@ -504,6 +552,8 @@ func (l *Lowered) operandString(ins *Instr) string {
 			expr += fmt.Sprintf(" − {%s}", keyList())
 		}
 		return fmt.Sprintf("x%d = |%s|", ins.Dst, expr)
+	case IAuxBuild:
+		return fmt.Sprintf("a%d = {v -> N(v) ∩ s%d : v ∈ s%d}", ins.Dst, ins.A, ins.A)
 	}
 	return "?"
 }

@@ -15,6 +15,7 @@ package bench
 
 import (
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -101,6 +102,26 @@ type Workload struct {
 	// divided by this workload's in-heap throughput. Host-dependent;
 	// reported, not gated.
 	MmapThroughputRatio float64 `json:"mmap_throughput_ratio,omitempty"`
+	// AuxSpeedup, for aux-comparison workloads, is the best-of-two
+	// engine execution time of an identical run with auxiliary-graph
+	// materialization disabled, divided by the best-of-two aux-enabled
+	// execution time, both measured back to back (>1 means the aux path
+	// won). The DisableAuxGraphs knob leaves plan choice untouched, so
+	// both runs walk the same traversal and the ratio isolates the
+	// materialization itself. Unlike the hub and mmap comparisons the
+	// instruction streams legitimately differ (the aux lowering inserts
+	// IAuxBuild and row-alias defs), so only the counts are
+	// cross-checked. Host-dependent; reported, not gated.
+	AuxSpeedup float64 `json:"aux_speedup_ratio,omitempty"`
+	// AuxElemsOff/AuxElemsOn are the total set-kernel element work
+	// (engine.kernel_elems.*, schedule-invariant and seed-determined) of
+	// one no-aux and one aux-enabled run of the same query. Their ratio
+	// is the deterministic face of the aux win — the wall-clock
+	// AuxSpeedup fluctuates with host load, the element ratio cannot —
+	// so both values are gated hard against the baseline, and the
+	// workload itself fails if materialization stops reducing work.
+	AuxElemsOff int64 `json:"aux_elems_off,omitempty"`
+	AuxElemsOn  int64 `json:"aux_elems_on,omitempty"`
 }
 
 // Report is the machine-readable suite outcome written to
@@ -121,13 +142,16 @@ type Report struct {
 // speedup (and cross-check the counts). mmapCompare re-runs it on an
 // mmap-backed slab file of the same graph under a reduced Go heap
 // budget to exercise the out-of-core path (and cross-check both the
-// count and the instruction stream).
+// count and the instruction stream). auxCompare re-runs it with
+// auxiliary-graph materialization disabled to measure the deep-loop
+// pruning speedup (and cross-check the counts).
 type workloadSpec struct {
 	name        string
 	graph       func(cfg Config) *decomine.Graph
 	run         func(sys *decomine.System) (int64, error)
 	hubCompare  bool
 	mmapCompare bool
+	auxCompare  bool
 }
 
 func gnp(n int, p float64, seed int64) func(Config) *decomine.Graph {
@@ -154,6 +178,7 @@ func suite(cfg Config) []workloadSpec {
 			{name: "constrained-rmat-labeled", graph: labeledRMAT(9, 6, 4, cfg.Seed+4), run: constrainedCycle()},
 			{name: "motif5-hub-rmat", graph: hubRMAT(9, 8, 48, cfg.Seed+5), run: motifs(5), hubCompare: true},
 			{name: "motif4-slab-rmat", graph: slabRMAT(11, 8, 16, cfg.Seed+6), run: motifs(4), mmapCompare: true},
+			{name: "motif6-aux-community", graph: community(768, 6, 16, cfg.Seed+7), run: pseudoCliques(6, 1), auxCompare: true},
 		}
 	}
 	return []workloadSpec{
@@ -164,6 +189,7 @@ func suite(cfg Config) []workloadSpec {
 		{name: "constrained-rmat-labeled", graph: labeledRMAT(11, 8, 4, cfg.Seed+4), run: constrainedCycle()},
 		{name: "motif5-hub-rmat", graph: hubRMAT(11, 8, 64, cfg.Seed+5), run: motifs(5), hubCompare: true},
 		{name: "motif4-slab-rmat", graph: slabRMAT(13, 8, 16, cfg.Seed+6), run: motifs(4), mmapCompare: true},
+		{name: "motif6-aux-community", graph: community(1024, 6, 16, cfg.Seed+7), run: pseudoCliques(6, 1), auxCompare: true},
 	}
 }
 
@@ -183,6 +209,23 @@ func slabRMAT(scale, ef, p int, seed int64) func(Config) *decomine.Graph {
 func hubRMAT(scale, ef, minDegree int, seed int64) func(Config) *decomine.Graph {
 	return func(Config) *decomine.Graph {
 		return decomine.GenerateRMAT(scale, ef, seed).BuildHubIndex(minDegree)
+	}
+}
+
+// community builds the auxiliary-graph workload graph: overlapping
+// random cliques with near-uniform degree — no hub bitmaps, extreme
+// clustering — where deep pseudo-clique loops re-intersect wide
+// adjacency lists against small pruned sets and materialized aux rows
+// pay for themselves.
+func community(n, memberships, size int, seed int64) func(Config) *decomine.Graph {
+	return func(Config) *decomine.Graph {
+		return decomine.GenerateCommunity(n, memberships, size, seed)
+	}
+}
+
+func pseudoCliques(k, missing int) func(*decomine.System) (int64, error) {
+	return func(sys *decomine.System) (int64, error) {
+		return sys.PseudoCliqueCount(k, missing)
 	}
 }
 
@@ -334,6 +377,11 @@ func runWorkload(cfg Config, spec workloadSpec) (Workload, error) {
 			return Workload{}, err
 		}
 	}
+	if spec.auxCompare {
+		if err := runAuxComparison(cfg, spec, g, &w); err != nil {
+			return Workload{}, err
+		}
+	}
 	return w, nil
 }
 
@@ -377,6 +425,80 @@ func runHubComparison(cfg Config, spec workloadSpec, g *decomine.Graph, w *Workl
 		if noHub > 0 {
 			w.HubSpeedup = w.Throughput / noHub
 		}
+	}
+	return nil
+}
+
+// runAuxComparison re-runs spec's query with auxiliary-graph
+// materialization disabled and records the aux path's execution-time
+// ratio. DisableAuxGraphs keeps the planner's ranking (and therefore
+// the chosen traversal) identical and only skips the lowering rewrite,
+// so the two runs differ exactly by the hoisted IAuxBuild tables and
+// the pruned rows the deep loops read through them. The counts must
+// agree bit-for-bit — that is the gated differential — while the
+// instruction streams legitimately differ.
+func runAuxComparison(cfg Config, spec workloadSpec, g *decomine.Graph, w *Workload) error {
+	// Both sides are re-measured here, back to back and best-of-two, so
+	// the ratio compares the same thermal/load conditions instead of
+	// folding in whatever was running during the main workload pass.
+	kernelElems := func(reg *obs.Registry, base obs.Snapshot) int64 {
+		var sum int64
+		for _, k := range []string{"merge", "gallop", "bitmap", "bitmap-count"} {
+			sum += reg.CounterDelta(base, "engine.kernel_elems."+k)
+		}
+		return sum
+	}
+	side := func(disable bool) (count, bestNS, elems int64, err error) {
+		sys := decomine.NewSystem(g, decomine.Options{
+			Threads:            cfg.Threads,
+			Seed:               cfg.Seed,
+			ProfileSampleEdges: 20000,
+			ProfileTrials:      4000,
+			MaxCandidates:      64,
+			DisableAuxGraphs:   disable,
+		})
+		defer sys.Close()
+		reg := obs.Default
+		for i := 0; i < 2; i++ {
+			base := reg.Snapshot()
+			c, err := spec.run(sys)
+			if err != nil {
+				return 0, 0, 0, err
+			}
+			if i == 0 {
+				count = c
+				elems = kernelElems(reg, base)
+			} else if c != count {
+				return 0, 0, 0, fmt.Errorf("cached re-run disagrees: %d vs %d", c, count)
+			}
+			if ns := reg.CounterDelta(base, "engine.exec_ns"); i == 0 || ns < bestNS {
+				bestNS = ns
+			}
+		}
+		return count, bestNS, elems, nil
+	}
+	offCount, offNS, offElems, err := side(true)
+	if err != nil {
+		return fmt.Errorf("no-aux side: %w", err)
+	}
+	onCount, onNS, onElems, err := side(false)
+	if err != nil {
+		return fmt.Errorf("aux side: %w", err)
+	}
+	if offCount != onCount || offCount != w.Count {
+		return fmt.Errorf("aux count divergence: no-aux %d, aux %d, workload %d", offCount, onCount, w.Count)
+	}
+	// The aux path must win by a real margin on this workload, and the
+	// element-work measure is deterministic, so the floor can fail hard:
+	// 1.2× against a measured ~2× reduction leaves headroom for arbiter
+	// tuning without letting the win quietly erode away.
+	if float64(offElems) < 1.2*float64(onElems) {
+		return fmt.Errorf("aux kernel element work reduction below 1.2x: %d aux vs %d no-aux (%.2fx)",
+			onElems, offElems, float64(offElems)/math.Max(float64(onElems), 1))
+	}
+	w.AuxElemsOff, w.AuxElemsOn = offElems, onElems
+	if offNS > 0 && onNS > 0 {
+		w.AuxSpeedup = float64(offNS) / float64(onNS)
 	}
 	return nil
 }

@@ -99,6 +99,16 @@ func Compare(cur, base *Report, tol float64) Gate {
 				}
 			}
 		}
+		// Aux-comparison element work is schedule-invariant and
+		// seed-determined like instruction totals: any drift means the
+		// aux pass, the arbiter, or the kernels changed behavior.
+		// Baselines predating the fields (zero) are tolerated.
+		if b.AuxElemsOff != 0 && c.AuxElemsOff != b.AuxElemsOff {
+			g.failf("%s: no-aux kernel element work %d != baseline %d", b.Name, c.AuxElemsOff, b.AuxElemsOff)
+		}
+		if b.AuxElemsOn != 0 && c.AuxElemsOn != b.AuxElemsOn {
+			g.failf("%s: aux kernel element work %d != baseline %d", b.Name, c.AuxElemsOn, b.AuxElemsOn)
+		}
 		if b.Throughput > 0 && c.Throughput > 0 && curRate > 0 && baseRate > 0 {
 			if b.ExecNS >= minGateExecNS {
 				cNorm, bNorm := c.Throughput/curRate, b.Throughput/baseRate

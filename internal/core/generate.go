@@ -45,6 +45,12 @@ type Plan struct {
 	// subpattern-to-whole vertex mappings).
 	Decomposition *decomp.Decomposition
 
+	// LowerOpts configures the lowering pipeline (auxiliary-graph
+	// materialization and its decision callback). Must be set before the
+	// first Lowered call; Search wires it from SearchOptions and the
+	// active cost model.
+	LowerOpts ast.LowerOpts
+
 	lowerOnce sync.Once
 	lowered   *ast.Lowered
 }
@@ -54,7 +60,7 @@ type Plan struct {
 // call (plans are immutable once built, so callers get amortized-free
 // bytecode across repeated executions of a cached plan).
 func (p *Plan) Lowered() *ast.Lowered {
-	p.lowerOnce.Do(func() { p.lowered = ast.Lower(p.Prog) })
+	p.lowerOnce.Do(func() { p.lowered = ast.LowerWith(p.Prog, p.LowerOpts) })
 	return p.lowered
 }
 

@@ -22,6 +22,10 @@ type MergedPlan struct {
 	// the plans shared nothing).
 	FusedLoops int
 
+	// LowerOpts configures the lowering pipeline (auxiliary-graph
+	// materialization); must be set before the first Lowered call.
+	LowerOpts ast.LowerOpts
+
 	lowerOnce sync.Once
 	lowered   *ast.Lowered
 }
@@ -29,7 +33,7 @@ type MergedPlan struct {
 // Lowered returns the merged program's bytecode form, lowering on first
 // call and caching the result (the merged Prog is immutable once built).
 func (m *MergedPlan) Lowered() *ast.Lowered {
-	m.lowerOnce.Do(func() { m.lowered = ast.Lower(m.Prog) })
+	m.lowerOnce.Do(func() { m.lowered = ast.LowerWith(m.Prog, m.LowerOpts) })
 	return m.lowered
 }
 

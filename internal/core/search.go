@@ -62,6 +62,10 @@ type SearchOptions struct {
 	// (cost.Calibrate). Calibration only changes which candidate wins
 	// the ranking, never what any candidate computes.
 	CalibratedCosts *cost.Calibration
+	// DisableAuxGraphs turns off auxiliary-graph materialization in the
+	// lowering of every candidate (results are bit-identical either
+	// way; only per-iteration work changes).
+	DisableAuxGraphs bool
 	// Mode ModeEmit additionally requires partial-embedding emission.
 }
 
@@ -113,6 +117,20 @@ func Search(p *pattern.Pattern, opts SearchOptions) (*Candidate, []Candidate, er
 		}
 		rankStart := time.Now()
 		c := model.Cost(plan.Prog)
+		// Lower the candidate now so the auxiliary-graph pass runs with
+		// this model arbitrating materialize-vs-recompute, then fold each
+		// applied table's estimated net gain into the plan's rank: a plan
+		// whose deep loops prune harder through aux rows outranks the
+		// same traversal without them.
+		plan.LowerOpts = ast.LowerOpts{DisableAux: opts.DisableAuxGraphs}
+		if arb := cost.AuxDecider(model, plan.Prog); arb != nil {
+			plan.LowerOpts.AuxDecide = arb.Decide
+			// Applied even under DisableAuxGraphs (the pass records its
+			// verdicts without rewriting anything): the knob must leave
+			// plan choice untouched so an on/off comparison isolates the
+			// materialization itself.
+			c = arb.RankAdjust(c, plan.Lowered().AuxDecisions)
+		}
 		rankTime += time.Since(rankStart)
 		cands = append(cands, Candidate{Plan: plan, Cost: c})
 	}

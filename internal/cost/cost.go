@@ -36,6 +36,17 @@ type GraphStats struct {
 	// bitmap row and the VM takes an O(min) kernel instead of an
 	// O(a+b) merge. Zero when the graph has no hub index.
 	HubProb float64
+	// Closure is the sampled edge-closure probability: for an edge
+	// (u,v), the expected |N(u) ∩ N(v)| / min(deg u, deg v). DeepClosure
+	// is the second-order variant — for C = N(u) ∩ N(v) and w ∈ C, the
+	// expected |N(w) ∩ C| / |C|, i.e. the density an auxiliary row keeps
+	// once its source set is already triangle-pruned. Both are near zero
+	// on uniform random graphs (the independence assumption holds) and
+	// approach one inside dense communities, where independence-based
+	// deep-set estimates collapse to zero and would starve the
+	// materialize-vs-recompute arbitration of its amortization term.
+	Closure     float64
+	DeepClosure float64
 	// Slabs is the graph's storage partition count and SlabCross the
 	// degree-weighted probability that two independent neighbor-list
 	// operands live in different slabs: 1 − Σ_s share(s)², where
@@ -76,7 +87,54 @@ func StatsOf(g *graph.Graph) GraphStats {
 		}
 		st.SlabCross = 1 - same
 	}
+	st.Closure, st.DeepClosure = sampleClosure(g)
 	return st
+}
+
+// sampleClosure measures Closure and DeepClosure over a deterministic
+// stride sample of edges (no RNG: the same graph always yields the same
+// statistics, keeping plan choices reproducible). Cost is O(|E|) for
+// the edge walk plus a few hundred set intersections.
+func sampleClosure(g *graph.Graph) (closure, deep float64) {
+	m := g.NumEdges()
+	if m == 0 {
+		return 0, 0
+	}
+	const maxSamples = 256
+	stride := int(m/maxSamples) + 1
+	var buf, row []uint32
+	var n1, n2 int
+	var s1, s2 float64
+	i := 0
+	g.Edges(func(u, v uint32) {
+		i++
+		if (i-1)%stride != 0 {
+			return
+		}
+		nu, nv := g.Neighbors(u), g.Neighbors(v)
+		if len(nu) == 0 || len(nv) == 0 {
+			return
+		}
+		buf = vset.Intersect(buf[:0], nu, nv)
+		n1++
+		s1 += float64(len(buf)) / float64(min(len(nu), len(nv)))
+		if len(buf) == 0 {
+			return
+		}
+		// One representative row per sampled edge: the median common
+		// neighbor's adjacency intersected back against the common set.
+		w := buf[len(buf)/2]
+		row = vset.Intersect(row[:0], g.Neighbors(w), buf)
+		n2++
+		s2 += float64(len(row)) / float64(len(buf))
+	})
+	if n1 > 0 {
+		closure = s1 / float64(n1)
+	}
+	if n2 > 0 {
+		deep = s2 / float64(n2)
+	}
+	return closure, deep
 }
 
 // Model estimates plan execution cost.
@@ -100,12 +158,15 @@ func (m *autoMine) Name() string { return "automine" }
 
 func (m *autoMine) withUnits(u Units) Model { c := *m; c.units = u; return &c }
 
-func (m *autoMine) Cost(prog *ast.Program) float64 {
-	obsEvalAutoMine.Inc()
-	e := estimator{st: m.st, units: m.units, intersect: func(a, b float64, _, _ bool) float64 {
+func (m *autoMine) estimator() *estimator {
+	return &estimator{st: m.st, units: m.units, intersect: func(a, b float64, _, _ bool) float64 {
 		return a * b / math.Max(m.st.N, 1)
 	}}
-	return e.run(prog)
+}
+
+func (m *autoMine) Cost(prog *ast.Program) float64 {
+	obsEvalAutoMine.Inc()
+	return m.estimator().run(prog)
 }
 
 // ---- locality-aware model ----
@@ -131,15 +192,18 @@ func (m *locality) Name() string { return "locality" }
 
 func (m *locality) withUnits(u Units) Model { c := *m; c.units = u; return &c }
 
-func (m *locality) Cost(prog *ast.Program) float64 {
-	obsEvalLocality.Inc()
-	e := estimator{st: m.st, units: m.units, intersect: func(a, b float64, na, nb bool) float64 {
+func (m *locality) estimator() *estimator {
+	return &estimator{st: m.st, units: m.units, intersect: func(a, b float64, na, nb bool) float64 {
 		if na && nb {
 			return math.Min(a, b) * m.plocal
 		}
 		return a * b / math.Max(m.st.N, 1)
 	}}
-	return e.run(prog)
+}
+
+func (m *locality) Cost(prog *ast.Program) float64 {
+	obsEvalLocality.Inc()
+	return m.estimator().run(prog)
 }
 
 // ---- approximate-mining model ----
@@ -164,9 +228,8 @@ func (m *approxMining) Name() string { return "approx-mining" }
 
 func (m *approxMining) withUnits(u Units) Model { c := *m; c.units = u; return &c }
 
-func (m *approxMining) Cost(prog *ast.Program) float64 {
-	obsEvalApprox.Inc()
-	e := estimator{
+func (m *approxMining) estimator() *estimator {
+	return &estimator{
 		st:    m.st,
 		units: m.units,
 		intersect: func(a, b float64, na, nb bool) float64 {
@@ -192,7 +255,11 @@ func (m *approxMining) Cost(prog *ast.Program) float64 {
 			return math.Max(c, 1e-9), true
 		},
 	}
-	return e.run(prog)
+}
+
+func (m *approxMining) Cost(prog *ast.Program) float64 {
+	obsEvalApprox.Inc()
+	return m.estimator().run(prog)
 }
 
 // ---- shared AST-walking estimator ----
@@ -214,14 +281,40 @@ type estimator struct {
 
 	size    []float64
 	fromNbr []bool
-	cost    float64
+	// chain counts the adjacency constraints folded into each set
+	// register (N(v) is 1, an intersection sums its operands): the
+	// exponent of the closure-chain size floor that keeps deep
+	// triangle-pruned sets from collapsing to zero on clustered graphs.
+	chain []int
+	cost  float64
+
+	// loopTotal, when non-nil, captures each loop's expected TOTAL
+	// iteration count keyed by its loop variable (the plan shape
+	// AuxDecider prices materialize-vs-recompute against).
+	loopTotal map[int]float64
 }
 
 func (e *estimator) run(prog *ast.Program) float64 {
 	e.size = make([]float64, prog.NumSets)
 	e.fromNbr = make([]bool, prog.NumSets)
+	e.chain = make([]int, prog.NumSets)
 	e.walk(prog.Root.Body, 1, 1)
 	return e.cost
+}
+
+// closureSize is the clustered-graph floor for a set holding `chain`
+// adjacency constraints: one edge closure keeps ~Closure·deg common
+// neighbors and each further constraint keeps ~DeepClosure of what
+// survived. On uniform random graphs the sampled closures are ~deg/N
+// and the floor decays below the independence estimate, changing
+// nothing; on community-structured graphs it is what keeps deep loops
+// — and therefore the materialize-vs-recompute amortization — from
+// being priced as if they never ran.
+func (e *estimator) closureSize(chain int) float64 {
+	if e.st.Closure <= 0 || chain < 2 {
+		return 0
+	}
+	return e.st.AvgDeg * e.st.Closure * math.Pow(e.st.DeepClosure, float64(chain-2))
 }
 
 // walk processes a body executed `iters` expected times total; prefCount
@@ -249,6 +342,9 @@ func (e *estimator) walk(body []*ast.Node, iters, prefCount float64) {
 				}
 			}
 			e.cost += total * e.units.Loop // loop bookkeeping
+			if e.loopTotal != nil {
+				e.loopTotal[n.Var] += total
+			}
 			e.walk(n.Body, math.Max(total, 1e-12), math.Max(childPref, 1e-12))
 		case ast.KSetDef:
 			e.defineSet(n, iters)
@@ -318,14 +414,22 @@ func (e *estimator) slabSpanCost(a, b float64, aNb, bNb bool) float64 {
 func (e *estimator) defineSet(n *ast.Node, iters float64) {
 	var sz float64
 	var nb bool
+	ch := 0
+	if n.Op != ast.OpAll && n.Op != ast.OpNeighbors {
+		ch = e.chain[n.A]
+	}
 	switch n.Op {
 	case ast.OpAll:
 		sz, nb = e.st.N, false
 	case ast.OpNeighbors:
-		sz, nb = e.st.AvgDeg, true
+		sz, nb, ch = e.st.AvgDeg, true, 1
 	case ast.OpIntersect:
 		a, b := e.size[n.A], e.size[n.B]
 		sz = e.intersect(a, b, e.fromNbr[n.A], e.fromNbr[n.B])
+		ch = e.chain[n.A] + e.chain[n.B]
+		if fl := math.Min(e.closureSize(ch), math.Min(a, b)); fl > sz {
+			sz = fl
+		}
 		nb = e.fromNbr[n.A] || e.fromNbr[n.B]
 		// Kernel-aware merge cost: with probability HubProb a
 		// neighbor-derived operand has a hub bitmap row and the VM runs
@@ -374,4 +478,5 @@ func (e *estimator) defineSet(n *ast.Node, iters float64) {
 	}
 	e.size[n.Dst] = sz
 	e.fromNbr[n.Dst] = nb
+	e.chain[n.Dst] = ch
 }

@@ -40,6 +40,18 @@ var obsKernels = func() [NumKernels]*obs.Counter {
 	return cs
 }()
 
+// obsKernelElems[k] accumulates kernel-path element work
+// ("engine.kernel_elems.<name>"): the schedule-invariant per-path work
+// measures from Result.KernelElems. The bench suite's aux comparison
+// reads these to compute a deterministic work ratio.
+var obsKernelElems = func() [NumKernels]*obs.Counter {
+	var cs [NumKernels]*obs.Counter
+	for k, name := range KernelNames {
+		cs[k] = obs.Default.Counter("engine.kernel_elems." + name)
+	}
+	return cs
+}()
+
 // workerInstrCounter returns the per-slot instruction counter
 // "engine.worker.instructions.<t>". Slot handles are cached so the
 // per-run cost is one mutex-protected slice read.
@@ -534,6 +546,11 @@ func Run(g *graph.Graph, prog *ast.Program, opts Options) (*Result, error) {
 		for k, c := range res.KernelCounts {
 			if c != 0 {
 				obsKernels[k].Add(c)
+			}
+		}
+		for k, c := range res.KernelElems {
+			if c != 0 {
+				obsKernelElems[k].Add(c)
 			}
 		}
 		for t, w := range res.WorkPerThread {

@@ -1,0 +1,23 @@
+package engine
+
+import (
+	"testing"
+
+	"decomine/internal/ast"
+)
+
+// TestPerOpcodeCountersCoverOpcodes pins the per-opcode accounting
+// surfaces to the instruction set: the frame counter array, the
+// profiler's attribution grid, and the ExecResult export must all span
+// ast.NumOpcodes, so a new opcode (e.g. IAuxBuild) is counted and
+// attributed from the day it is added.
+func TestPerOpcodeCountersCoverOpcodes(t *testing.T) {
+	var f vmFrame
+	if got := len(f.opCounts); got != int(ast.NumOpcodes) {
+		t.Errorf("frame opCounts spans %d opcodes, want %d", got, ast.NumOpcodes)
+	}
+	if profCells != int(ast.NumOpcodes)*profMaxDepth*profKernelSlots {
+		t.Errorf("profile grid has %d cells, want opcode-major %d", profCells,
+			int(ast.NumOpcodes)*profMaxDepth*profKernelSlots)
+	}
+}

@@ -105,7 +105,7 @@ func analyzeD1(bc *ast.Lowered) []d1Info {
 		pure := true
 		for pc < seg.End-1 && bc.Code[pc].Op != ast.ILoopBegin {
 			switch bc.Code[pc].Op {
-			case ast.ISetDef, ast.IScalarDef, ast.ICount, ast.IScalarReset:
+			case ast.ISetDef, ast.IScalarDef, ast.ICount, ast.IScalarReset, ast.IAuxBuild:
 				pc++
 			default:
 				pure = false
@@ -156,14 +156,14 @@ func analyzeD1(bc *ast.Lowered) []d1Info {
 }
 
 func newVMShared(g *graph.Graph, bc *ast.Lowered, hub *graph.HubIndex) *vmShared {
-	prog := bc.Prog
-	sh := &vmShared{g: g, bc: bc, hub: hub, bufCap: make([]int, prog.NumSets)}
+	nSets := bc.SetRegs()
+	sh := &vmShared{g: g, bc: bc, hub: hub, bufCap: make([]int, nSets)}
 	n := g.NumVertices()
 	maxDeg := g.MaxDegree()
 	// Static size bounds per set register. Definitions are SSA (one def
 	// site per register), so a single pass in instruction order sees
 	// every def after its operands' defs.
-	bound := make([]int, prog.NumSets)
+	bound := make([]int, nSets)
 	needAll := false
 	for i := range bc.Code {
 		ins := &bc.Code[i]
@@ -176,6 +176,14 @@ func newVMShared(g *graph.Graph, bc *ast.Lowered, hub *graph.HubIndex) *vmShared
 			needAll = true
 		case ast.OpNeighbors:
 			bound[ins.Dst] = maxDeg
+		case ast.OpAuxRow:
+			// A row is N(v) ∩ src: never longer than either. Aliases the
+			// table's arena, so no buffer of its own.
+			b := bound[bc.Aux[ins.A].Src]
+			if maxDeg < b {
+				b = maxDeg
+			}
+			bound[ins.Dst] = b
 		case ast.OpIntersect:
 			b := bound[ins.A]
 			if bb := bound[ins.B]; bb < b {
@@ -234,6 +242,21 @@ type vmFrame struct {
 	iter []int
 	cur  [][]uint32
 
+	// Auxiliary tables (one entry per ast.AuxTable): auxVerts[t] aliases
+	// the source register's value at build time (the sorted row keys),
+	// auxData[t] is the concatenated row storage and auxOffs[t] the row
+	// offsets into it (len(auxVerts[t])+1 entries). Rows live until the
+	// table's IAuxBuild re-executes — per iteration of the loop enclosing
+	// the source's definition — and OpAuxRow registers alias into
+	// auxData, so rebuilding in place is safe: every alias is itself
+	// redefined (glued before its use) before any read that follows a
+	// rebuild. Tables are frame-local and never synced across workers;
+	// the lowering pass keeps builds off the root level so stolen work
+	// always re-executes the build it needs (exec prefix replay).
+	auxVerts [][]uint32
+	auxOffs  [][]int32
+	auxData  [][]uint32
+
 	// opCounts[op] counts executed instructions per opcode.
 	opCounts [ast.NumOpcodes]int64
 	// kernelCounts[k] counts intersect/subtract dispatches per kernel
@@ -284,8 +307,8 @@ func newVMFrame(sh *vmShared, parent *vmFrame) *vmFrame {
 	f := &vmFrame{
 		sh:       sh,
 		vars:     make([]uint32, prog.NumVars),
-		sets:     make([][]uint32, prog.NumSets),
-		bufs:     make([][]uint32, prog.NumSets),
+		sets:     make([][]uint32, len(sh.bufCap)),
+		bufs:     make([][]uint32, len(sh.bufCap)),
 		scalars:  make([]int64, prog.NumScalars),
 		globalsV: make([]int64, prog.NumGlobals),
 		keyBuf:   make([]uint32, 0, prog.MaxKey+4),
@@ -301,6 +324,11 @@ func newVMFrame(sh *vmShared, parent *vmFrame) *vmFrame {
 			f.bufs[r] = arena[off : off : off+c]
 			off += c
 		}
+	}
+	if na := len(sh.bc.Aux); na > 0 {
+		f.auxVerts = make([][]uint32, na)
+		f.auxOffs = make([][]int32, na)
+		f.auxData = make([][]uint32, na)
 	}
 	f.tables = make([]*HashTable, prog.NumTables)
 	for i := range f.tables {
@@ -392,6 +420,8 @@ func (f *vmFrame) exec(start, end int32) bool {
 				d := vset.TrimBelow(f.bufs[ins.Dst], sets[ins.A], vars[ins.V])
 				f.bufs[ins.Dst] = d
 				sets[ins.Dst] = d
+			case ast.OpAuxRow:
+				sets[ins.Dst] = f.auxRow(ins.A, vars[ins.V])
 			default:
 				f.execSet(ins)
 			}
@@ -442,6 +472,9 @@ func (f *vmFrame) exec(start, end int32) bool {
 			pc++
 		case ast.ICount:
 			scalars[ins.Dst] = f.execCount(ins)
+			pc++
+		case ast.IAuxBuild:
+			f.execAuxBuild(ins)
 			pc++
 		default:
 			panic(fmt.Sprintf("engine: unknown opcode %d", ins.Op))
@@ -514,7 +547,7 @@ func (f *vmFrame) intersectInto(dst, a, b []uint32, nbrA, nbrB int32) []uint32 {
 			if f.noteKernel(KernelBitmap, int64(len(a))) {
 				t0 := profNow()
 				d := vset.IntersectBitmap(dst, a, rowB)
-				f.prof.noteTimed(KernelBitmap, int64(len(a)), profNow()-t0)
+				f.prof.noteTimed(KernelBitmap, f.crossSlab(nbrA, nbrB), int64(len(a)), profNow()-t0)
 				return d
 			}
 			return vset.IntersectBitmap(dst, a, rowB)
@@ -523,7 +556,7 @@ func (f *vmFrame) intersectInto(dst, a, b []uint32, nbrA, nbrB int32) []uint32 {
 			if f.noteKernel(KernelBitmap, int64(len(b))) {
 				t0 := profNow()
 				d := vset.IntersectBitmap(dst, b, rowA)
-				f.prof.noteTimed(KernelBitmap, int64(len(b)), profNow()-t0)
+				f.prof.noteTimed(KernelBitmap, f.crossSlab(nbrA, nbrB), int64(len(b)), profNow()-t0)
 				return d
 			}
 			return vset.IntersectBitmap(dst, b, rowA)
@@ -536,7 +569,7 @@ func (f *vmFrame) intersectInto(dst, a, b []uint32, nbrA, nbrB int32) []uint32 {
 	if f.noteKernel(k, elems) {
 		t0 := profNow()
 		d := vset.Intersect(dst, a, b)
-		f.prof.noteTimed(k, elems, profNow()-t0)
+		f.prof.noteTimed(k, f.crossSlab(nbrA, nbrB), elems, profNow()-t0)
 		return d
 	}
 	return vset.Intersect(dst, a, b)
@@ -550,7 +583,7 @@ func (f *vmFrame) subtractInto(dst, a, b []uint32, nbrB int32) []uint32 {
 		if f.noteKernel(KernelBitmap, int64(len(a))) {
 			t0 := profNow()
 			d := vset.SubtractBitmap(dst, a, rowB)
-			f.prof.noteTimed(KernelBitmap, int64(len(a)), profNow()-t0)
+			f.prof.noteTimed(KernelBitmap, false, int64(len(a)), profNow()-t0)
 			return d
 		}
 		return vset.SubtractBitmap(dst, a, rowB)
@@ -559,7 +592,7 @@ func (f *vmFrame) subtractInto(dst, a, b []uint32, nbrB int32) []uint32 {
 	if f.noteKernel(KernelMerge, elems) {
 		t0 := profNow()
 		d := vset.Subtract(dst, a, b)
-		f.prof.noteTimed(KernelMerge, elems, profNow()-t0)
+		f.prof.noteTimed(KernelMerge, false, elems, profNow()-t0)
 		return d
 	}
 	return vset.Subtract(dst, a, b)
@@ -583,7 +616,7 @@ func (f *vmFrame) intersectCount(a, b []uint32, nbrA, nbrB int32, aWindowed bool
 				if f.noteKernel(KernelBitmapCount, int64(w)) {
 					t0 := profNow()
 					n := vset.AndCount(rowA, rowB)
-					f.prof.noteTimed(KernelBitmapCount, int64(w), profNow()-t0)
+					f.prof.noteTimed(KernelBitmapCount, f.crossSlab(nbrA, nbrB), int64(w), profNow()-t0)
 					return n
 				}
 				return vset.AndCount(rowA, rowB)
@@ -596,7 +629,7 @@ func (f *vmFrame) intersectCount(a, b []uint32, nbrA, nbrB int32, aWindowed bool
 			if f.noteKernel(KernelBitmap, int64(len(a))) {
 				t0 := profNow()
 				n := vset.IntersectCountBitmap(a, rowB)
-				f.prof.noteTimed(KernelBitmap, int64(len(a)), profNow()-t0)
+				f.prof.noteTimed(KernelBitmap, f.crossSlab(nbrA, nbrB), int64(len(a)), profNow()-t0)
 				return n
 			}
 			return vset.IntersectCountBitmap(a, rowB)
@@ -605,7 +638,7 @@ func (f *vmFrame) intersectCount(a, b []uint32, nbrA, nbrB int32, aWindowed bool
 			if f.noteKernel(KernelBitmap, int64(len(b))) {
 				t0 := profNow()
 				n := vset.IntersectCountBitmap(b, rowA)
-				f.prof.noteTimed(KernelBitmap, int64(len(b)), profNow()-t0)
+				f.prof.noteTimed(KernelBitmap, f.crossSlab(nbrA, nbrB), int64(len(b)), profNow()-t0)
 				return n
 			}
 			return vset.IntersectCountBitmap(b, rowA)
@@ -618,7 +651,7 @@ func (f *vmFrame) intersectCount(a, b []uint32, nbrA, nbrB int32, aWindowed bool
 	if f.noteKernel(k, elems) {
 		t0 := profNow()
 		n := vset.IntersectCount(a, b)
-		f.prof.noteTimed(k, elems, profNow()-t0)
+		f.prof.noteTimed(k, f.crossSlab(nbrA, nbrB), elems, profNow()-t0)
 		return n
 	}
 	return vset.IntersectCount(a, b)
@@ -675,6 +708,110 @@ func (f *vmFrame) exclCount(ins *ast.Instr, a, b []uint32) int64 {
 	return n
 }
 
+// --- auxiliary tables (GraphMini-style materialized pruned adjacency) ---
+
+// execAuxBuild (re)materializes auxiliary table Dst from source set
+// register A: one row N(v) ∩ src per vertex v ∈ src, concatenated into
+// the frame's per-table arena with offsets recorded per row. The row
+// keys alias the source register's current value, which stays stable
+// until the source is redefined — and the build instruction is glued
+// directly after that definition, so it always re-executes before any
+// row is read again. Each row dispatches through the hybrid kernel
+// selection (v's hub bitmap row, when present, covers N(v) exactly) and
+// feeds the kernel counters per row, so profiles, calibration and the
+// steal-schedule-invariant work totals all see the build's true cost.
+// Under a depth-1 steal the thief replays the build muted (execPrefix),
+// exactly like the other pure prefix definitions.
+func (f *vmFrame) execAuxBuild(ins *ast.Instr) {
+	t := ins.Dst
+	src := f.sets[ins.A]
+	offs := f.auxOffs[t][:0]
+	data := f.auxData[t][:0]
+	g := f.sh.g
+	hub := f.sh.hub
+	for _, v := range src {
+		nb := g.Neighbors(v)
+		need := len(nb)
+		if len(src) < need {
+			need = len(src)
+		}
+		// Rows are addressed by offset, so growing (and relocating) the
+		// arena between rows is safe; within a row the kernels append at
+		// most `need` elements, which the headroom guarantees, so a row
+		// never detaches from the arena mid-build.
+		if cap(data)-len(data) < need {
+			grown := make([]uint32, len(data), 2*cap(data)+need)
+			copy(grown, data)
+			data = grown
+		}
+		offs = append(offs, int32(len(data)))
+		dst := data[len(data):len(data)]
+		var row []uint32
+		if hub != nil {
+			if hr := hub.Row(v); hr != nil {
+				if f.noteKernel(KernelBitmap, int64(len(src))) {
+					t0 := profNow()
+					row = vset.IntersectBitmap(dst, src, hr)
+					f.prof.noteTimed(KernelBitmap, false, int64(len(src)), profNow()-t0)
+				} else {
+					row = vset.IntersectBitmap(dst, src, hr)
+				}
+				data = data[:len(data)+len(row)]
+				continue
+			}
+		}
+		k, elems := KernelMerge, int64(len(nb)+len(src))
+		if vset.Gallops(nb, src) {
+			k, elems = KernelGallop, gallopElems(nb, src)
+		}
+		if f.noteKernel(k, elems) {
+			t0 := profNow()
+			row = vset.Intersect(dst, nb, src)
+			f.prof.noteTimed(k, false, elems, profNow()-t0)
+		} else {
+			row = vset.Intersect(dst, nb, src)
+		}
+		data = data[:len(data)+len(row)]
+	}
+	offs = append(offs, int32(len(data)))
+	f.auxVerts[t] = src
+	f.auxOffs[t] = offs
+	f.auxData[t] = data
+}
+
+// auxRow returns auxiliary table t's row for vertex v: a zero-copy
+// alias into the table arena. The lowering pass's legality rules
+// guarantee lookups hit (the w-loop iterates a subset of the table
+// source); a miss returns the empty set for safety.
+func (f *vmFrame) auxRow(t int32, v uint32) []uint32 {
+	verts := f.auxVerts[t]
+	lo, hi := 0, len(verts)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if verts[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo >= len(verts) || verts[lo] != v {
+		return nil
+	}
+	offs := f.auxOffs[t]
+	return f.auxData[t][offs[lo]:offs[lo+1]]
+}
+
+// crossSlab reports whether the two neighbor-set operands of a dispatch
+// were loaded from different partition slabs — the cross-partition
+// traffic cost.Calibrate prices via Units.SlabCrossElem. Only evaluated
+// on the exact-timing subsample, so the hot path never pays for it.
+func (f *vmFrame) crossSlab(nbrA, nbrB int32) bool {
+	if nbrA < 0 || nbrB < 0 || f.sh.g.NumSlabs() <= 1 {
+		return false
+	}
+	return f.sh.g.SlabOf(f.vars[nbrA]) != f.sh.g.SlabOf(f.vars[nbrB])
+}
+
 func (f *vmFrame) key(ins *ast.Instr) []uint32 {
 	ks := f.sh.bc.KeyVars(ins)
 	buf := f.keyBuf[:len(ks)]
@@ -693,6 +830,9 @@ func (f *vmFrame) execSet(ins *ast.Instr) {
 	case ast.OpNeighbors:
 		// Alias the CSR adjacency directly: zero copies.
 		f.sets[ins.Dst] = f.sh.g.Neighbors(f.vars[ins.V])
+		return
+	case ast.OpAuxRow:
+		f.sets[ins.Dst] = f.auxRow(ins.A, f.vars[ins.V])
 		return
 	case ast.OpIntersect:
 		dst = f.intersectInto(dst, f.sets[ins.A], f.sets[ins.B], ins.NbrA, ins.NbrB)
@@ -797,6 +937,8 @@ func (f *vmFrame) execPrefix(start, end int32) {
 			f.scalars[ins.Dst] = ins.Imm
 		case ast.ICount:
 			f.scalars[ins.Dst] = f.execCount(ins)
+		case ast.IAuxBuild:
+			f.execAuxBuild(ins)
 		default:
 			panic(fmt.Sprintf("engine: impure opcode %d in splittable prefix", ins.Op))
 		}
@@ -948,6 +1090,12 @@ func (f *vmFrame) resetForJob() {
 	f.kernelCounts = [NumKernels]int64{}
 	f.kernelElems = [NumKernels]int64{}
 	f.mute = false
+	for i := range f.auxVerts {
+		// Drop the previous run's source alias so recycled frames don't
+		// pin graph or arena memory across queries; offs/data keep their
+		// capacity for reuse.
+		f.auxVerts[i] = nil
+	}
 	for _, t := range f.tables {
 		t.Clear()
 	}

@@ -122,6 +122,41 @@ func SmallWorld(n, k int, beta float64, seed int64) *Graph {
 	return g
 }
 
+// Community generates an overlapping-cliques community graph: every
+// vertex joins `memberships` communities of `size` members each (the
+// membership slots are a random shuffle of the vertex multiset), and
+// each community is a clique. The result has near-uniform degree around
+// memberships·(size-1) — no hubs — but extreme local clustering: dense
+// 6-vertex near-cliques are abundant while |N(w) ∩ C| for a community
+// candidate set C collapses to roughly one community. That combination
+// (deep loops that really run, neighbor lists much larger than the
+// pruned sets they are intersected with, and no hub bitmaps shortcutting
+// the merges) is the regime where auxiliary-graph materialization pays.
+func Community(n, memberships, size int, seed int64) *Graph {
+	r := rand.New(rand.NewSource(seed))
+	slots := make([]uint32, 0, n*memberships)
+	for v := 0; v < n; v++ {
+		for i := 0; i < memberships; i++ {
+			slots = append(slots, uint32(v))
+		}
+	}
+	r.Shuffle(len(slots), func(i, j int) { slots[i], slots[j] = slots[j], slots[i] })
+	b := NewBuilder(n)
+	b.SetName("community")
+	for i := 0; i+size <= len(slots); i += size {
+		comm := slots[i : i+size]
+		for a := 0; a < len(comm); a++ {
+			for c := a + 1; c < len(comm); c++ {
+				if comm[a] != comm[c] {
+					b.AddEdge(comm[a], comm[c])
+				}
+			}
+		}
+	}
+	g, _ := b.Build()
+	return g
+}
+
 // WithRandomLabels returns a copy of g carrying numLabels random vertex
 // labels with a mildly skewed (Zipf-like) distribution, mirroring the
 // paper's "lj with randomly synthesized labels".

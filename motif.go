@@ -3,6 +3,7 @@ package decomine
 import (
 	"fmt"
 
+	"decomine/internal/ast"
 	"decomine/internal/core"
 	"decomine/internal/engine"
 	"decomine/internal/pattern"
@@ -103,6 +104,9 @@ func (s *System) CountAll(patterns []*Pattern) ([]int64, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The merged program is a fresh AST, so the aux pass re-runs on it;
+	// without a per-model decider here the structural default arbitrates.
+	merged.LowerOpts = ast.LowerOpts{DisableAux: s.opts.DisableAuxGraphs}
 	runOpts := engine.Options{Threads: s.opts.Threads, Interpreter: s.engineInterp()}
 	if runOpts.Interpreter == engine.InterpVM {
 		runOpts.Code = merged.Lowered()

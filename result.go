@@ -157,9 +157,20 @@ func (s *System) noteSlowQuery(traceID uint64, name string, begin time.Time, tot
 		Name:        name,
 		Begin:       begin,
 		DurationNS:  total.Nanoseconds(),
-		Plan:        fmt.Sprintf("chosen: %s\n\n%s", e.plan.Desc, core.PlanPseudocode(e.plan)),
+		Plan:        slowQueryPlan(e),
 		Disassembly: core.PlanDisassembly(e.plan),
 		Kernels:     st.Exec.Kernels,
 		Profile:     st.Exec.Profile,
 	})
+}
+
+// slowQueryPlan renders the slow-query log's plan text: the Explain
+// pseudocode plus, when the compiler materialized or rejected auxiliary
+// tables for this plan, the pass's decisions and cost estimates.
+func slowQueryPlan(e *planEntry) string {
+	plan := fmt.Sprintf("chosen: %s\n\n%s", e.plan.Desc, core.PlanPseudocode(e.plan))
+	if aux := core.PlanAuxSummary(e.plan); aux != "" {
+		plan += "\nauxiliary graphs:\n" + aux
+	}
+	return plan
 }
