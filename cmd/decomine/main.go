@@ -27,6 +27,10 @@
 //	fsm <support> <maxEdges>   frequent subgraph mining (labeled graphs)
 //	explain <pattern>          show the selected algorithm
 //	codegen <pattern>          emit the selected plan as Go source
+//	serve                      expose the loaded graph over the HTTP
+//	                           query API (internal/server) on -listen
+//	                           (default :8372); for multi-graph serving
+//	                           and tenant budgets use cmd/decomined
 //
 // <pattern> is an edge list ("0-1,1-2,2-0") or a named pattern
 // (clique-4, cycle-5, chain-3, star-4, house, fig6, p1..p5).
@@ -38,12 +42,14 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"path/filepath"
 	"runtime/debug"
 	"strings"
 	"time"
 
 	"decomine"
 	"decomine/internal/obs"
+	"decomine/internal/server"
 )
 
 func main() {
@@ -65,7 +71,9 @@ func main() {
 		os.Exit(2)
 	}
 
-	if *listen != "" {
+	// The serve command mounts the observability endpoints inside the
+	// query API handler, so it owns -listen itself.
+	if *listen != "" && args[0] != "serve" {
 		ln, err := net.Listen("tcp", *listen)
 		fatalIf(err)
 		fmt.Fprintf(os.Stderr, "observability: http://%s/metrics\n", ln.Addr())
@@ -164,6 +172,24 @@ func main() {
 			fmt.Printf("%-40s support=%d\n", fp.Pattern, fp.Support)
 		}
 		fmt.Printf("%d frequent patterns\t(%s)\n", len(res), time.Since(start).Round(time.Millisecond))
+	case "serve":
+		addr := *listen
+		if addr == "" {
+			addr = ":8372"
+		}
+		name := *dataset
+		if *graphPath != "" {
+			base := filepath.Base(*graphPath)
+			name = strings.TrimSuffix(base, filepath.Ext(base))
+		}
+		srv, err := server.New(server.Config{
+			Systems: map[string]*decomine.System{name: sys},
+		})
+		fatalIf(err)
+		ln, err := net.Listen("tcp", addr)
+		fatalIf(err)
+		fmt.Fprintf(os.Stderr, "serving graph %q on http://%s/query\n", name, ln.Addr())
+		fatalIf(http.Serve(ln, srv.Handler()))
 	default:
 		fatal(fmt.Sprintf("unknown command %q", args[0]))
 	}

@@ -101,7 +101,36 @@ type Options struct {
 	// /debug/profile. Off by default; profiling adds a clock read per
 	// sampling window and never changes results or instruction counts.
 	Profile bool
+	// SharedPool, when non-nil, makes this System execute plans on a
+	// caller-owned worker pool instead of starting its own, so several
+	// Systems (one per loaded graph in a server) share one set of worker
+	// goroutines. System.Close never closes a shared pool — the owner
+	// does, via Pool.Close. Ignored for sequential configurations
+	// (Threads == 1) and the tree-walking interpreter; when set, the
+	// pool's size overrides Threads for parallel runs.
+	SharedPool *Pool
 }
+
+// Pool is a work-stealing worker pool shareable by several Systems (see
+// Options.SharedPool). The zero value is not usable; create one with
+// NewPool and Close it when every sharing System is done.
+type Pool struct {
+	p *engine.Pool
+}
+
+// NewPool starts a pool with n workers (GOMAXPROCS when n <= 0).
+func NewPool(n int) *Pool {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{p: engine.NewPool(n)}
+}
+
+// Size returns the pool's worker count.
+func (p *Pool) Size() int { return p.p.Size() }
+
+// Close stops the pool's workers, blocking until in-flight work drains.
+func (p *Pool) Close() { p.p.Close() }
 
 // ExecutionProfile is the sampling profiler's attribution record; see
 // Options.Profile, ExecStats.Profile, and System.Calibrate.
@@ -212,6 +241,9 @@ func (s *System) enginePool() *engine.Pool {
 	}
 	if n == 1 || s.opts.Interpreter == InterpreterTree {
 		return nil
+	}
+	if s.opts.SharedPool != nil {
+		return s.opts.SharedPool.p
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -526,22 +558,23 @@ func (s *System) LastExecStats() ExecStats {
 }
 
 func (s *System) run(plan *core.Plan, newConsumer func(worker int) engine.Consumer) (int64, error) {
-	count, _, _, err := s.runStats(plan, newConsumer, nil, nil)
+	count, _, _, err := s.runStats(plan, newConsumer, nil, nil, nil)
 	return count, err
 }
 
 // runStats executes plan and returns the count, the engine result (for
 // per-run stats) and how long assembling the execution state took —
 // which is the bytecode lowering + arena planning on a plan's first
-// run, and ~0 afterwards. cancel and progress (both optional) are
+// run, and ~0 afterwards. cancel, progress and fuel (all optional) are
 // threaded through to the engine run.
-func (s *System) runStats(plan *core.Plan, newConsumer func(worker int) engine.Consumer, cancel *atomic.Bool, progress *engine.ProgressTracker) (int64, *engine.Result, time.Duration, error) {
+func (s *System) runStats(plan *core.Plan, newConsumer func(worker int) engine.Consumer, cancel *atomic.Bool, progress *engine.ProgressTracker, fuel *atomic.Int64) (int64, *engine.Result, time.Duration, error) {
 	lowerStart := time.Now()
 	opts := s.execOptions(plan)
 	lowerDur := time.Since(lowerStart)
 	opts.NewConsumer = newConsumer
 	opts.Cancel = cancel
 	opts.Progress = progress
+	opts.Fuel = fuel
 	res, err := engine.Run(s.graph.g, plan.Prog, opts)
 	if err != nil {
 		return 0, nil, lowerDur, err

@@ -10,7 +10,9 @@
 // labeled G(n,p), and a label-constrained query on a labeled R-MAT.
 // Each workload issues its query twice on one System so the second
 // round exercises the plan cache and the report carries a meaningful
-// hit rate.
+// hit rate. The serve-cache-rmat workload instead replays a fixed
+// request script against the HTTP query front door (internal/server),
+// gating the result-cache hit count and the GEO rewrite-hit count.
 package bench
 
 import (
@@ -122,6 +124,15 @@ type Workload struct {
 	// workload itself fails if materialization stops reducing work.
 	AuxElemsOff int64 `json:"aux_elems_off,omitempty"`
 	AuxElemsOn  int64 `json:"aux_elems_on,omitempty"`
+	// ServeQueries/ServeCacheHits/ServeRewriteHits describe the serving
+	// workload's scripted replay against the query front door
+	// (internal/server): how many requests were issued, how many were
+	// answered from the result cache, and how many were composed by a
+	// pure GEO rewrite without executing. The script is fixed, so all
+	// three are deterministic and gated hard.
+	ServeQueries     int64 `json:"serve_queries,omitempty"`
+	ServeCacheHits   int64 `json:"serve_cache_hits,omitempty"`
+	ServeRewriteHits int64 `json:"serve_rewrite_hits,omitempty"`
 }
 
 // Report is the machine-readable suite outcome written to
@@ -152,6 +163,11 @@ type workloadSpec struct {
 	hubCompare  bool
 	mmapCompare bool
 	auxCompare  bool
+	// serve replaces run: the workload drives the HTTP query front door
+	// with a scripted request replay instead of calling the library, and
+	// fills the Workload's Serve* fields itself (its script embeds its
+	// own determinism checks, so there is no blanket run-twice).
+	serve func(sys *decomine.System, w *Workload) (int64, error)
 }
 
 func gnp(n int, p float64, seed int64) func(Config) *decomine.Graph {
@@ -179,6 +195,7 @@ func suite(cfg Config) []workloadSpec {
 			{name: "motif5-hub-rmat", graph: hubRMAT(9, 8, 48, cfg.Seed+5), run: motifs(5), hubCompare: true},
 			{name: "motif4-slab-rmat", graph: slabRMAT(11, 8, 16, cfg.Seed+6), run: motifs(4), mmapCompare: true},
 			{name: "motif6-aux-community", graph: community(768, 6, 16, cfg.Seed+7), run: pseudoCliques(6, 1), auxCompare: true},
+			{name: "serve-cache-rmat", graph: rmat(9, 6, cfg.Seed+8), serve: serveScript},
 		}
 	}
 	return []workloadSpec{
@@ -190,6 +207,7 @@ func suite(cfg Config) []workloadSpec {
 		{name: "motif5-hub-rmat", graph: hubRMAT(11, 8, 64, cfg.Seed+5), run: motifs(5), hubCompare: true},
 		{name: "motif4-slab-rmat", graph: slabRMAT(13, 8, 16, cfg.Seed+6), run: motifs(4), mmapCompare: true},
 		{name: "motif6-aux-community", graph: community(1024, 6, 16, cfg.Seed+7), run: pseudoCliques(6, 1), auxCompare: true},
+		{name: "serve-cache-rmat", graph: rmat(11, 8, cfg.Seed+8), serve: serveScript},
 	}
 }
 
@@ -308,28 +326,35 @@ func runWorkload(cfg Config, spec workloadSpec) (Workload, error) {
 
 	base := obs.Default.Snapshot()
 	start := time.Now()
-	count, err := spec.run(sys)
-	if err != nil {
-		return Workload{}, err
-	}
-	again, err := spec.run(sys)
-	if err != nil {
-		return Workload{}, err
+	w := Workload{Name: spec.name}
+	var count int64
+	var err error
+	if spec.serve != nil {
+		count, err = spec.serve(sys, &w)
+		if err != nil {
+			return Workload{}, err
+		}
+	} else {
+		count, err = spec.run(sys)
+		if err != nil {
+			return Workload{}, err
+		}
+		again, err := spec.run(sys)
+		if err != nil {
+			return Workload{}, err
+		}
+		if again != count {
+			return Workload{}, fmt.Errorf("cached re-run disagrees: %d vs %d", again, count)
+		}
 	}
 	wall := time.Since(start)
-	if again != count {
-		return Workload{}, fmt.Errorf("cached re-run disagrees: %d vs %d", again, count)
-	}
 
 	reg := obs.Default
-	w := Workload{
-		Name:         spec.name,
-		Count:        count,
-		WallNS:       wall.Nanoseconds(),
-		Instructions: reg.CounterDelta(base, "engine.instructions"),
-		CompileNS:    reg.CounterDelta(base, "compile.search_ns"),
-		ExecNS:       reg.CounterDelta(base, "engine.exec_ns"),
-	}
+	w.Count = count
+	w.WallNS = wall.Nanoseconds()
+	w.Instructions = reg.CounterDelta(base, "engine.instructions")
+	w.CompileNS = reg.CounterDelta(base, "compile.search_ns")
+	w.ExecNS = reg.CounterDelta(base, "engine.exec_ns")
 	if w.ExecNS > 0 {
 		w.Throughput = float64(w.Instructions) / (float64(w.ExecNS) / 1e9)
 	}

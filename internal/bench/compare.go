@@ -109,6 +109,18 @@ func Compare(cur, base *Report, tol float64) Gate {
 		if b.AuxElemsOn != 0 && c.AuxElemsOn != b.AuxElemsOn {
 			g.failf("%s: aux kernel element work %d != baseline %d", b.Name, c.AuxElemsOn, b.AuxElemsOn)
 		}
+		// The serving replay script is fixed, so its cache and rewrite
+		// hit counts are as deterministic as instruction totals: drift
+		// means the cache keying, the rewrite layer, or the script
+		// changed behavior. Baselines predating the fields are tolerated.
+		if b.ServeQueries != 0 {
+			if c.ServeQueries != b.ServeQueries || c.ServeCacheHits != b.ServeCacheHits ||
+				c.ServeRewriteHits != b.ServeRewriteHits {
+				g.failf("%s: serve replay queries/cache-hits/rewrite-hits %d/%d/%d != baseline %d/%d/%d",
+					b.Name, c.ServeQueries, c.ServeCacheHits, c.ServeRewriteHits,
+					b.ServeQueries, b.ServeCacheHits, b.ServeRewriteHits)
+			}
+		}
 		if b.Throughput > 0 && c.Throughput > 0 && curRate > 0 && baseRate > 0 {
 			if b.ExecNS >= minGateExecNS {
 				cNorm, bNorm := c.Throughput/curRate, b.Throughput/baseRate

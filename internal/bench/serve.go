@@ -1,0 +1,106 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+
+	"decomine"
+	"decomine/internal/server"
+)
+
+// serveResp is the slice of the server's query response the bench
+// script asserts on.
+type serveResp struct {
+	Count              int64 `json:"count"`
+	Cached             bool  `json:"cached"`
+	Rewritten          bool  `json:"rewritten"`
+	ExecutedSubqueries int   `json:"executed_subqueries"`
+}
+
+// serveScript drives the query front door (internal/server) over sys
+// with a fixed request script and records the cache and rewrite hits in
+// w. The script pins the serving invariants deterministically: repeated
+// queries hit the result cache, a vertex-induced query over cached
+// edge-induced counts is answered by a pure GEO rewrite, and the
+// rewritten count satisfies the conversion identity
+// vi(chain-3) = ei(chain-3) - 3*ei(triangle) bit-for-bit. The returned
+// count folds every response together so any drift in any step fails
+// the count gate.
+func serveScript(sys *decomine.System, w *Workload) (int64, error) {
+	srv, err := server.New(server.Config{
+		Systems: map[string]*decomine.System{"bench": sys},
+	})
+	if err != nil {
+		return 0, err
+	}
+	h := srv.Handler()
+	post := func(body string) (serveResp, error) {
+		req := httptest.NewRequest("POST", "/query", strings.NewReader(body))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		var r serveResp
+		if rec.Code != 200 {
+			return r, fmt.Errorf("query %s: status %d: %s", body, rec.Code, rec.Body.String())
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &r); err != nil {
+			return r, fmt.Errorf("query %s: %w", body, err)
+		}
+		return r, nil
+	}
+
+	steps := []struct {
+		body          string
+		wantCached    bool
+		wantRewritten bool
+	}{
+		{`{"graph":"bench","pattern":"0-1,1-2"}`, false, false},               // ei chain-3: execute
+		{`{"graph":"bench","pattern":"0-1,1-2"}`, true, false},                // repeat: cache hit
+		{`{"graph":"bench","pattern":"0-1,1-2,2-0"}`, false, false},           // ei triangle: execute
+		{`{"graph":"bench","pattern":"0-1,1-2,2-0"}`, true, false},            // repeat: cache hit
+		{`{"graph":"bench","pattern":"0-1,1-2","induced":true}`, false, true}, // vi chain-3: pure rewrite
+		{`{"graph":"bench","pattern":"0-1,1-2","induced":true}`, true, false}, // repeat: cache hit
+		{`{"graph":"bench","pattern":"0-1,2-3"}`, false, false},               // disconnected: composed (edge executes, chain-3 quotient cached)
+		{`{"graph":"bench","pattern":"0-1,2-3"}`, true, false},                // repeat: cache hit
+	}
+	counts := make([]int64, 0, len(steps))
+	var total int64
+	for i, st := range steps {
+		r, err := post(st.body)
+		if err != nil {
+			return 0, fmt.Errorf("step %d: %w", i+1, err)
+		}
+		if r.Cached != st.wantCached || r.Rewritten != st.wantRewritten {
+			return 0, fmt.Errorf("step %d %s: cached=%v rewritten=%v, want cached=%v rewritten=%v",
+				i+1, st.body, r.Cached, r.Rewritten, st.wantCached, st.wantRewritten)
+		}
+		if (st.wantCached || st.wantRewritten) && r.ExecutedSubqueries != 0 {
+			return 0, fmt.Errorf("step %d %s: executed %d subqueries on a hit", i+1, st.body, r.ExecutedSubqueries)
+		}
+		w.ServeQueries++
+		if r.Cached {
+			w.ServeCacheHits++
+		}
+		if r.Rewritten {
+			w.ServeRewriteHits++
+		}
+		counts = append(counts, r.Count)
+		// Folding with the step index makes the gate sensitive to a count
+		// moving between steps, not just to the sum.
+		total += int64(i+1) * r.Count
+	}
+	// The conversion identity the rewrite layer claims to have applied.
+	if counts[4] != counts[0]-3*counts[2] {
+		return 0, fmt.Errorf("rewrite identity broken: vi(chain-3)=%d, ei(chain-3)-3*ei(triangle)=%d",
+			counts[4], counts[0]-3*counts[2])
+	}
+	// Repeats must be bit-identical to their originals.
+	for _, pair := range [][2]int{{0, 1}, {2, 3}, {4, 5}, {6, 7}} {
+		if counts[pair[0]] != counts[pair[1]] {
+			return 0, fmt.Errorf("steps %d/%d disagree: %d vs %d",
+				pair[0]+1, pair[1]+1, counts[pair[0]], counts[pair[1]])
+		}
+	}
+	return total, nil
+}

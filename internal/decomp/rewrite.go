@@ -1,0 +1,198 @@
+// GEO-style query rewrites: deciding whether a pattern-count query is
+// derivable from edge-induced counts of other (connected) patterns, and
+// composing the answer once those counts are known. Two exact
+// identities power the serving layer's rewrite cache:
+//
+//  1. Vertex-induced from edge-induced (paper §2.2): vi(p) is a signed
+//     unitriangular combination of the edge-induced counts of p and its
+//     supergraph isomorphism classes (pattern.ConversionPlan /
+//     pattern.VertexInducedFromEdgeInduced).
+//
+//  2. The empty-cut decomposition identity for disconnected patterns:
+//     with no cutting set pinned, the per-cut-embedding algebra in this
+//     package degenerates to
+//
+//     inj(c_1 ⊔ … ⊔ c_k) = Π_i inj(c_i) − Σ_{π nontrivial} inj(q_π)
+//
+//     where π ranges over transversal merge partitions (at most one
+//     vertex per component per block, at least one block of size ≥ 2)
+//     and q_π is the quotient. A tuple of per-component injective
+//     embeddings either is globally injective or collides exactly along
+//     one such π, so the product overcounts by exactly the quotient
+//     embeddings. Quotients may themselves be disconnected; the
+//     evaluation recurses until every operand is connected. Counts
+//     convert between copies (what the System APIs report) and
+//     injective maps via the automorphism count.
+package decomp
+
+import (
+	"fmt"
+
+	"decomine/internal/pattern"
+)
+
+// Rewrite is a recipe for answering one pattern-count query from
+// edge-induced copy counts of connected patterns. Needs lists the
+// patterns whose counts Eval consumes; the caller obtains them however
+// it likes (a result cache, direct execution) and passes them keyed by
+// canonical code.
+type Rewrite struct {
+	// Needs are the connected patterns whose edge-induced counts the
+	// rewrite consumes, deduplicated by canonical code.
+	Needs []*pattern.Pattern
+	// Desc names the identity, for logs and explain output.
+	Desc string
+
+	eval func(counts map[pattern.Code]int64) (int64, error)
+}
+
+// Eval composes the answer from the needed counts (edge-induced copy
+// counts keyed by canonical pattern code, one per entry of Needs).
+func (r *Rewrite) Eval(counts map[pattern.Code]int64) (int64, error) {
+	return r.eval(counts)
+}
+
+// RewriteQuery decides whether counting p (vertex-induced when induced
+// is set, edge-induced otherwise) is derivable from edge-induced counts
+// of connected patterns, returning the recipe and ok=true when it is.
+// Connected edge-induced queries return ok=false: they are their own
+// (only) need, so executing them directly is the rewrite. Vertex-induced
+// queries on disconnected patterns are not supported and error.
+func RewriteQuery(p *pattern.Pattern, induced bool) (*Rewrite, bool, error) {
+	switch {
+	case induced && !p.Connected():
+		return nil, false, fmt.Errorf("decomp: no rewrite for vertex-induced counts of disconnected pattern %s", p)
+	case induced:
+		plan := pattern.ConversionPlan(p)
+		return &Rewrite{
+			Needs: dedupPatterns(plan),
+			Desc:  fmt.Sprintf("vertex-induced from %d edge-induced supergraph-class counts", len(plan)),
+			eval: func(counts map[pattern.Code]int64) (int64, error) {
+				for _, q := range plan {
+					if _, ok := counts[q.Canonical()]; !ok {
+						return 0, fmt.Errorf("decomp: rewrite is missing the count of %s", q)
+					}
+				}
+				return pattern.VertexInducedFromEdgeInduced(p, counts), nil
+			},
+		}, true, nil
+	case p.Connected():
+		return nil, false, nil
+	}
+	// Disconnected edge-induced count: the empty-cut identity.
+	var needs []*pattern.Pattern
+	if err := collectDisjointNeeds(p, &needs); err != nil {
+		return nil, false, err
+	}
+	d, _ := DecomposeDisjoint(p)
+	return &Rewrite{
+		Needs: dedupPatterns(needs),
+		Desc: fmt.Sprintf("empty-cut decomposition identity over %d components and %d merge quotients",
+			d.K(), len(d.Shrinkages)),
+		eval: func(counts map[pattern.Code]int64) (int64, error) {
+			inj, err := disjointInj(p, counts)
+			if err != nil {
+				return 0, err
+			}
+			aut := p.AutomorphismCount()
+			if inj%aut != 0 {
+				return 0, fmt.Errorf("decomp: injective count %d of %s not divisible by its %d automorphisms", inj, p, aut)
+			}
+			return inj / aut, nil
+		},
+	}, true, nil
+}
+
+// DecomposeDisjoint builds the empty-cut decomposition of a pattern
+// with at least two connected components: the subpatterns are exactly
+// the components, and the shrinkages are the quotients by transversal
+// merge partitions of all vertices.
+func DecomposeDisjoint(p *pattern.Pattern) (*Decomposition, error) {
+	if p.Connected() {
+		return nil, fmt.Errorf("decomp: pattern %s is connected; DecomposeDisjoint needs >= 2 components", p)
+	}
+	d := &Decomposition{P: p}
+	for _, compMask := range p.ComponentsAvoiding(0) {
+		vs := pattern.MaskVertices(compMask)
+		d.Subpatterns = append(d.Subpatterns, Subpattern{
+			Pat:      p.InducedSub(vs),
+			ToWhole:  vs,
+			CompMask: compMask,
+		})
+	}
+	d.Shrinkages = d.enumerateShrinkages()
+	return d, nil
+}
+
+// collectDisjointNeeds gathers every connected pattern whose
+// edge-induced count the recursive empty-cut evaluation of p consumes.
+func collectDisjointNeeds(p *pattern.Pattern, out *[]*pattern.Pattern) error {
+	if p.Connected() {
+		*out = append(*out, p)
+		return nil
+	}
+	d, err := DecomposeDisjoint(p)
+	if err != nil {
+		return err
+	}
+	for _, sp := range d.Subpatterns {
+		if err := collectDisjointNeeds(sp.Pat, out); err != nil {
+			return err
+		}
+	}
+	for _, sh := range d.Shrinkages {
+		if err := collectDisjointNeeds(sh.Pat, out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// disjointInj evaluates the injective embedding count of p from
+// edge-induced copy counts of connected patterns, recursing through the
+// empty-cut identity while p is disconnected.
+func disjointInj(p *pattern.Pattern, counts map[pattern.Code]int64) (int64, error) {
+	if p.Connected() {
+		c, ok := counts[p.Canonical()]
+		if !ok {
+			return 0, fmt.Errorf("decomp: rewrite is missing the count of %s", p)
+		}
+		return c * p.AutomorphismCount(), nil
+	}
+	d, err := DecomposeDisjoint(p)
+	if err != nil {
+		return 0, err
+	}
+	total := int64(1)
+	for _, sp := range d.Subpatterns {
+		inj, err := disjointInj(sp.Pat, counts)
+		if err != nil {
+			return 0, err
+		}
+		total *= inj
+	}
+	for _, sh := range d.Shrinkages {
+		inj, err := disjointInj(sh.Pat, counts)
+		if err != nil {
+			return 0, err
+		}
+		total -= inj
+	}
+	return total, nil
+}
+
+// dedupPatterns drops canonical-code duplicates, keeping first
+// occurrences in order.
+func dedupPatterns(ps []*pattern.Pattern) []*pattern.Pattern {
+	seen := map[pattern.Code]bool{}
+	out := make([]*pattern.Pattern, 0, len(ps))
+	for _, p := range ps {
+		code := p.Canonical()
+		if seen[code] {
+			continue
+		}
+		seen[code] = true
+		out = append(out, p)
+	}
+	return out
+}

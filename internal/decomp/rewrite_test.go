@@ -1,0 +1,206 @@
+package decomp
+
+import (
+	"math/rand"
+	"testing"
+
+	"decomine/internal/pattern"
+)
+
+// testGraph is a tiny adjacency-matrix graph for brute-force oracles.
+type testGraph struct {
+	n      int
+	adj    [][]bool
+	labels []uint32
+}
+
+func randomTestGraph(n int, p float64, seed int64, labels int) *testGraph {
+	rng := rand.New(rand.NewSource(seed))
+	g := &testGraph{n: n, adj: make([][]bool, n), labels: make([]uint32, n)}
+	for i := range g.adj {
+		g.adj[i] = make([]bool, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < p {
+				g.adj[i][j] = true
+				g.adj[j][i] = true
+			}
+		}
+		if labels > 0 {
+			g.labels[i] = uint32(rng.Intn(labels)) + 1
+		} else {
+			g.labels[i] = pattern.NoLabel
+		}
+	}
+	return g
+}
+
+// bruteInj counts injective, edge-preserving, label-respecting maps of
+// p into g. induced additionally requires non-edges to map to
+// non-edges (vertex-induced semantics).
+func bruteInj(g *testGraph, p *pattern.Pattern, induced bool) int64 {
+	n := p.NumVertices()
+	bound := make([]int, n)
+	var total int64
+	var rec func(i int)
+	rec = func(i int) {
+		if i == n {
+			total++
+			return
+		}
+		for v := 0; v < g.n; v++ {
+			if l := p.Label(i); l != pattern.NoLabel && g.labels[v] != l {
+				continue
+			}
+			ok := true
+			for j := 0; j < i; j++ {
+				if bound[j] == v {
+					ok = false
+					break
+				}
+				if p.HasEdge(i, j) != g.adj[v][bound[j]] && (p.HasEdge(i, j) || induced) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				bound[i] = v
+				rec(i + 1)
+			}
+		}
+	}
+	rec(0)
+	return total
+}
+
+// bruteCopies is the copy count the System APIs report: injective maps
+// divided by pattern automorphisms.
+func bruteCopies(g *testGraph, p *pattern.Pattern, induced bool) int64 {
+	return bruteInj(g, p, induced) / p.AutomorphismCount()
+}
+
+// evalAgainstBrute obtains every need of r by brute force and composes.
+func evalAgainstBrute(t *testing.T, g *testGraph, r *Rewrite) int64 {
+	t.Helper()
+	counts := map[pattern.Code]int64{}
+	for _, q := range r.Needs {
+		if !q.Connected() {
+			t.Fatalf("rewrite need %s is not connected", q)
+		}
+		counts[q.Canonical()] = bruteCopies(g, q, false)
+	}
+	got, err := r.Eval(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+// TestDisjointRewriteMatchesBruteForce pins the empty-cut decomposition
+// identity: for disconnected patterns, the count composed from
+// edge-induced counts of connected pieces equals direct brute-force
+// enumeration of the disconnected pattern.
+func TestDisjointRewriteMatchesBruteForce(t *testing.T) {
+	g := randomTestGraph(11, 0.35, 42, 0)
+	cases := []string{
+		"0-1,2-3",             // two disjoint edges
+		"0-1,1-2,3-4",         // path-3 plus an edge
+		"0-1,1-2,2-0,3-4",     // triangle plus an edge
+		"0-1,1-2,3-4,4-5",     // two paths
+		"0-1,1-2,2-0,3-4,4-5", // triangle plus path-3
+		"0-1,2-3,4-5",         // three disjoint edges (recursion depth > 1)
+	}
+	for _, spec := range cases {
+		p := pattern.MustParse(spec)
+		if p.Connected() {
+			t.Fatalf("fixture %q is connected", spec)
+		}
+		r, ok, err := RewriteQuery(p, false)
+		if err != nil || !ok {
+			t.Fatalf("%q: RewriteQuery ok=%v err=%v", spec, ok, err)
+		}
+		got := evalAgainstBrute(t, g, r)
+		want := bruteCopies(g, p, false)
+		if got != want {
+			t.Errorf("%q: rewrite composed %d, brute force %d", spec, got, want)
+		}
+	}
+}
+
+// TestDisjointRewriteLabeled repeats the differential with vertex
+// labels, where incompatible merges are pruned from the quotient sum.
+func TestDisjointRewriteLabeled(t *testing.T) {
+	g := randomTestGraph(12, 0.4, 7, 2)
+	p := pattern.MustParse("0-1,1-2,3-4")
+	p.SetLabel(0, 1)
+	p.SetLabel(1, 2)
+	p.SetLabel(2, 1)
+	p.SetLabel(3, 1)
+	p.SetLabel(4, 2)
+	r, ok, err := RewriteQuery(p, false)
+	if err != nil || !ok {
+		t.Fatalf("RewriteQuery ok=%v err=%v", ok, err)
+	}
+	got := evalAgainstBrute(t, g, r)
+	want := bruteCopies(g, p, false)
+	if got != want {
+		t.Errorf("labeled rewrite composed %d, brute force %d", got, want)
+	}
+}
+
+// TestVertexInducedRewriteMatchesBruteForce pins identity (1): vi(p)
+// composed from edge-induced counts of p plus its supergraph classes
+// equals direct vertex-induced brute force.
+func TestVertexInducedRewriteMatchesBruteForce(t *testing.T) {
+	g := randomTestGraph(12, 0.4, 99, 0)
+	for _, spec := range []string{"0-1,1-2", "0-1,1-2,2-3", "0-1,0-2,0-3"} {
+		p := pattern.MustParse(spec)
+		r, ok, err := RewriteQuery(p, true)
+		if err != nil || !ok {
+			t.Fatalf("%q: RewriteQuery ok=%v err=%v", spec, ok, err)
+		}
+		got := evalAgainstBrute(t, g, r)
+		want := bruteCopies(g, p, true)
+		if got != want {
+			t.Errorf("%q: vi rewrite composed %d, brute force %d", spec, got, want)
+		}
+	}
+}
+
+// TestRewriteQueryEdgeCases: connected edge-induced queries have no
+// rewrite, and vertex-induced queries on disconnected patterns error.
+func TestRewriteQueryEdgeCases(t *testing.T) {
+	tri := pattern.MustParse("0-1,1-2,2-0")
+	if _, ok, err := RewriteQuery(tri, false); ok || err != nil {
+		t.Fatalf("connected ei query: ok=%v err=%v, want no rewrite", ok, err)
+	}
+	dis := pattern.MustParse("0-1,2-3")
+	if _, _, err := RewriteQuery(dis, true); err == nil {
+		t.Fatal("vi query on disconnected pattern: want error")
+	}
+	if _, err := DecomposeDisjoint(tri); err == nil {
+		t.Fatal("DecomposeDisjoint on connected pattern: want error")
+	}
+}
+
+// TestDisjointNeedsAreConnectedAndDeduped checks the Needs contract the
+// serving layer relies on: connected, canonical-code-unique patterns.
+func TestDisjointNeedsAreConnectedAndDeduped(t *testing.T) {
+	p := pattern.MustParse("0-1,1-2,2-0,3-4,4-5,5-3") // two triangles
+	r, ok, err := RewriteQuery(p, false)
+	if err != nil || !ok {
+		t.Fatalf("RewriteQuery ok=%v err=%v", ok, err)
+	}
+	seen := map[pattern.Code]bool{}
+	for _, q := range r.Needs {
+		if !q.Connected() {
+			t.Errorf("need %s is not connected", q)
+		}
+		code := q.Canonical()
+		if seen[code] {
+			t.Errorf("need %s duplicated", q)
+		}
+		seen[code] = true
+	}
+}

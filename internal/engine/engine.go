@@ -168,6 +168,15 @@ type Options struct {
 	// Progress, when non-nil, receives this run's root-range completion
 	// accounting; Progress.Fraction may be polled concurrently.
 	Progress *ProgressTracker
+	// Fuel, when non-nil, is a shared instruction budget for this run
+	// (VM only). Each worker debits cancelCheckInterval instructions at
+	// its fuel-check window; once the counter goes negative the run
+	// aborts through the cancellation plumbing and the Result reports
+	// Canceled=true. The overshoot is therefore bounded by roughly
+	// cancelCheckInterval × workers instructions. Several runs may share
+	// one counter to enforce a joint budget. Ignored by the tree-walker,
+	// whose instruction accounting has no dispatch window.
+	Fuel *atomic.Int64
 }
 
 // Result carries the merged global accumulators and execution metadata.
@@ -343,6 +352,7 @@ func Run(g *graph.Graph, prog *ast.Program, opts Options) (*Result, error) {
 			mf.prof = &profAgg{}
 		}
 		mf.progress = opts.Progress
+		mf.fuelBudget = opts.Fuel
 	} else {
 		master = newFrame(g, prog, nil)
 	}

@@ -149,6 +149,7 @@ func newJob(master *vmFrame, seg int, over []uint32, cancel *atomic.Bool, slots 
 		wf.syncFrom(master)
 		wf.setConsumer(getConsumer(t))
 		wf.setCancel(cancel)
+		wf.fuelBudget = master.fuelBudget
 		wf.stopFlag = &j.stop
 		// Workers inherit the master's profiling/progress arming; their
 		// accumulators fold back via mergeFrom when the job drains.

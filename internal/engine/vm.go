@@ -291,6 +291,10 @@ type vmFrame struct {
 	// in-flight exec was aborted by it (vs. a consumer stop).
 	cancel    *atomic.Bool
 	cancelHit bool
+	// fuelBudget, when non-nil, is the run's shared instruction budget
+	// (Options.Fuel): each fuel window debits cancelCheckInterval from
+	// it, and a negative balance aborts like a cancellation.
+	fuelBudget *atomic.Int64
 	// stopFlag, when non-nil, is the owning job's stop word; execD1
 	// polls it between depth-1 iterations so a worker abandons a long
 	// split range once another worker stopped the run.
@@ -344,6 +348,7 @@ func newVMFrame(sh *vmShared, parent *vmFrame) *vmFrame {
 		// Root-level set registers are SSA and read-only within loops,
 		// so workers may alias the master's slices.
 		copy(f.sets, parent.sets)
+		f.fuelBudget = parent.fuelBudget
 	}
 	return f
 }
@@ -375,6 +380,11 @@ func (f *vmFrame) exec(start, end int32) bool {
 				f.profFlush(pc)
 			}
 			if f.cancel != nil && f.cancel.Load() {
+				f.cancelHit = true
+				f.fuel = fuel
+				return false
+			}
+			if f.fuelBudget != nil && f.fuelBudget.Add(-cancelCheckInterval) < 0 {
 				f.cancelHit = true
 				f.fuel = fuel
 				return false
@@ -1101,6 +1111,7 @@ func (f *vmFrame) resetForJob() {
 	}
 	f.cancel = nil
 	f.cancelHit = false
+	f.fuelBudget = nil
 	f.stopFlag = nil
 	f.consumer = nil
 	f.fuel = cancelCheckInterval

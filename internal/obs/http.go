@@ -5,6 +5,7 @@ import (
 	"expvar"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"strings"
 	"sync"
 )
@@ -38,6 +39,7 @@ func publishExpvar() {
 //	                    JSON by default, ?format=pprof for a gzipped
 //	                    pprof protobuf dump
 //	/debug/queries      in-flight queries with progress fraction + ETA
+//	/debug/queries/cancel?id=N  POST: abort a cancelable in-flight query
 //	/debug/slowqueries  the slow-query log (plan, profile, kernel mix)
 //	/debug/pprof/*      the standard pprof profiles
 func Handler() http.Handler {
@@ -77,6 +79,24 @@ func Handler() http.Handler {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(LiveQueries())
+	})
+	mux.HandleFunc("/debug/queries/cancel", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST required", http.StatusMethodNotAllowed)
+			return
+		}
+		id, err := strconv.ParseUint(r.URL.Query().Get("id"), 10, 64)
+		if err != nil {
+			http.Error(w, "bad or missing id", http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if !CancelQuery(id) {
+			w.WriteHeader(http.StatusNotFound)
+			_, _ = w.Write([]byte(`{"canceled":false}` + "\n"))
+			return
+		}
+		_, _ = w.Write([]byte(`{"canceled":true}` + "\n"))
 	})
 	mux.HandleFunc("/debug/slowqueries", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")

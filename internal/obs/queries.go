@@ -19,6 +19,7 @@ type queryRec struct {
 	name     string
 	begin    time.Time
 	progress func() float64
+	cancel   func()
 }
 
 var (
@@ -33,10 +34,19 @@ var (
 // The returned function unregisters the query and must be called when
 // the query finishes.
 func RegisterQuery(name string, progress func() float64) (id uint64, unregister func()) {
+	return RegisterQueryCancelable(name, progress, nil)
+}
+
+// RegisterQueryCancelable is RegisterQuery for queries that also accept
+// remote cancellation: cancel (may be nil) is invoked — at most once,
+// from the HTTP handler goroutine — when an operator POSTs
+// /debug/queries/cancel?id=N, and must be safe to call concurrently
+// with the query finishing.
+func RegisterQueryCancelable(name string, progress func() float64, cancel func()) (id uint64, unregister func()) {
 	queryMu.Lock()
 	queryNextID++
 	id = queryNextID
-	queryLive[id] = &queryRec{id: id, name: name, begin: time.Now(), progress: progress}
+	queryLive[id] = &queryRec{id: id, name: name, begin: time.Now(), progress: progress, cancel: cancel}
 	queryMu.Unlock()
 	obsQueriesInflight.Add(1)
 	return id, func() {
@@ -62,6 +72,27 @@ type LiveQuery struct {
 	// ETANS extrapolates remaining time from elapsed/progress; -1 when
 	// progress is still 0 (unknown).
 	ETANS int64 `json:"eta_ns"`
+	// Cancelable reports that the query registered a cancel hook and can
+	// be aborted via POST /debug/queries/cancel?id=N.
+	Cancelable bool `json:"cancelable"`
+}
+
+// CancelQuery invokes the cancel hook of the in-flight query with the
+// given id, returning false when the id is unknown, already finished,
+// or was registered without a cancel hook.
+func CancelQuery(id uint64) bool {
+	queryMu.Lock()
+	r, ok := queryLive[id]
+	var cancel func()
+	if ok {
+		cancel = r.cancel
+	}
+	queryMu.Unlock()
+	if cancel == nil {
+		return false
+	}
+	cancel()
+	return true
 }
 
 // LiveQueries returns the currently in-flight queries, oldest first.
@@ -75,7 +106,7 @@ func LiveQueries() []LiveQuery {
 	sort.Slice(recs, func(i, j int) bool { return recs[i].id < recs[j].id })
 	out := make([]LiveQuery, 0, len(recs))
 	for _, r := range recs {
-		q := LiveQuery{ID: r.id, Name: r.name, StartedAt: r.begin, RunningNS: time.Since(r.begin).Nanoseconds(), ETANS: -1}
+		q := LiveQuery{ID: r.id, Name: r.name, StartedAt: r.begin, RunningNS: time.Since(r.begin).Nanoseconds(), ETANS: -1, Cancelable: r.cancel != nil}
 		if r.progress != nil {
 			p := r.progress()
 			if p < 0 {

@@ -1,0 +1,65 @@
+package server
+
+import "sync"
+
+// cacheKey identifies one cacheable count: the named graph at a
+// specific epoch, the query pattern's canonical isomorphism-class code
+// (labels included), the count semantics (edge- vs vertex-induced) and
+// the constraint flavor. Bumping a graph's epoch changes every key, so
+// stale entries become unreachable and age out of the FIFO ring.
+type cacheKey struct {
+	graph   string
+	epoch   uint64
+	code    string
+	induced bool
+	flavor  string
+}
+
+// resultCache is a concurrency-safe fixed-capacity count cache with
+// FIFO eviction. Counts are immutable facts about (graph epoch,
+// pattern), so there is no invalidation beyond epoch-keying and
+// capacity pressure.
+type resultCache struct {
+	mu      sync.RWMutex
+	cap     int
+	entries map[cacheKey]int64
+	order   []cacheKey // insertion order, oldest first
+}
+
+func newResultCache(capacity int) *resultCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &resultCache{cap: capacity, entries: make(map[cacheKey]int64, capacity)}
+}
+
+func (c *resultCache) get(k cacheKey) (int64, bool) {
+	c.mu.RLock()
+	v, ok := c.entries[k]
+	c.mu.RUnlock()
+	return v, ok
+}
+
+func (c *resultCache) put(k cacheKey, v int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[k]; ok {
+		// Counts are deterministic per key; the stored value is already
+		// correct.
+		return
+	}
+	for len(c.entries) >= c.cap && len(c.order) > 0 {
+		old := c.order[0]
+		c.order = c.order[1:]
+		delete(c.entries, old)
+	}
+	c.entries[k] = v
+	c.order = append(c.order, k)
+}
+
+// len reports the number of cached entries (tests).
+func (c *resultCache) len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.entries)
+}

@@ -1,0 +1,385 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"decomine"
+	"decomine/internal/decomp"
+	"decomine/internal/obs"
+	"decomine/internal/pattern"
+)
+
+// Aggregate query counter; per-tenant admission/cache/rewrite counters
+// are created on first use (server.<event>.<tenant>).
+var obsQueries = obs.Default.Counter("server.queries")
+
+func tenantCounter(event, tenant string) *obs.Counter {
+	return obs.Default.Counter("server." + event + "." + tenant)
+}
+
+// statusClientClosed mirrors the de-facto "client closed request"
+// status for queries canceled mid-flight.
+const statusClientClosed = 499
+
+// queryRequest is the POST /query body.
+type queryRequest struct {
+	// Graph names the target graph; may be empty when exactly one graph
+	// is loaded.
+	Graph string `json:"graph"`
+	// Pattern is an edge list ("0-1,1-2,2-0") or a named pattern
+	// ("clique-4", "chain-3", ...).
+	Pattern string `json:"pattern"`
+	// Induced selects vertex-induced counting (edge-induced otherwise).
+	Induced bool `json:"induced"`
+	// Labels constrains pattern vertex i to input label Labels[i]
+	// (0 = unconstrained).
+	Labels []uint32 `json:"labels,omitempty"`
+	// Constraints are group label constraints over pattern vertices.
+	Constraints []queryConstraint `json:"constraints,omitempty"`
+}
+
+type queryConstraint struct {
+	// Kind is "all-same" or "all-different".
+	Kind     string `json:"kind"`
+	Vertices []int  `json:"vertices"`
+}
+
+// queryResponse is the POST /query reply.
+type queryResponse struct {
+	Graph   string `json:"graph"`
+	Epoch   uint64 `json:"epoch"`
+	Pattern string `json:"pattern"`
+	Induced bool   `json:"induced"`
+	Tenant  string `json:"tenant"`
+	Count   int64  `json:"count"`
+	// Cached reports the whole answer was served from the result cache.
+	Cached bool `json:"cached"`
+	// Rewritten reports the answer was composed from cached subpattern
+	// counts via a decomposition identity, with zero VM executions.
+	Rewritten bool `json:"rewritten"`
+	// ExecutedSubqueries counts the VM executions this request ran (0
+	// for cache and rewrite hits; >1 when a rewrite had to fill in
+	// missing subpattern counts).
+	ExecutedSubqueries int `json:"executed_subqueries"`
+	// Instructions totals the bytecode instructions those executions
+	// spent, EstimatedCost what admission control priced the work at.
+	Instructions  int64   `json:"instructions"`
+	EstimatedCost float64 `json:"estimated_cost"`
+	ElapsedNS     int64   `json:"elapsed_ns"`
+}
+
+func parseConstraints(in []queryConstraint) ([]decomine.LabelConstraint, error) {
+	out := make([]decomine.LabelConstraint, 0, len(in))
+	for _, c := range in {
+		var kind decomine.ConstraintKind
+		switch c.Kind {
+		case "all-same":
+			kind = decomine.AllSameLabel
+		case "all-different":
+			kind = decomine.AllDifferentLabels
+		default:
+			return nil, fmt.Errorf("server: unknown constraint kind %q (want all-same or all-different)", c.Kind)
+		}
+		if len(c.Vertices) < 2 {
+			return nil, fmt.Errorf("server: constraint needs at least 2 vertices")
+		}
+		out = append(out, decomine.LabelConstraint{Kind: kind, Vertices: c.Vertices})
+	}
+	return out, nil
+}
+
+func parseQueryPattern(req *queryRequest) (*decomine.Pattern, error) {
+	var p *decomine.Pattern
+	var err error
+	if p, err = decomine.PatternByName(req.Pattern); err != nil {
+		if p, err = decomine.ParsePattern(req.Pattern); err != nil {
+			return nil, err
+		}
+	}
+	if len(req.Labels) > p.NumVertices() {
+		return nil, fmt.Errorf("server: %d labels for a %d-vertex pattern", len(req.Labels), p.NumVertices())
+	}
+	for v, l := range req.Labels {
+		if l != 0 {
+			p.SetVertexLabel(v, l)
+		}
+	}
+	return p, nil
+}
+
+// constraintFlavor serializes constraints into the cache-key flavor.
+// It embeds the pattern's own spelling: constraint vertex IDs are
+// meaningful relative to the spelling the client sent, so constrained
+// queries never share entries across isomorphic respellings (the
+// canonical code alone would conflate them).
+func constraintFlavor(p *decomine.Pattern, cons []decomine.LabelConstraint) string {
+	if len(cons) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "pat:%s|cons", p)
+	for _, c := range cons {
+		if c.Kind == decomine.AllDifferentLabels {
+			sb.WriteString(":d")
+		} else {
+			sb.WriteString(":s")
+		}
+		for _, v := range c.Vertices {
+			fmt.Fprintf(&sb, ",%d", v)
+		}
+	}
+	return sb.String()
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	begin := time.Now()
+	obsQueries.Inc()
+	var req queryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("server: bad request body: %v", err))
+		return
+	}
+	tenant := r.Header.Get("X-Tenant")
+	if tenant == "" {
+		tenant = "default"
+	}
+	tc := s.tenantConfig(tenant)
+	entry, err := s.entry(req.Graph)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	p, err := parseQueryPattern(&req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	cons, err := parseConstraints(req.Constraints)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Induced && len(cons) > 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("server: vertex-induced counting with constraints is not supported"))
+		return
+	}
+
+	epoch := entry.epoch.Load()
+	resp := &queryResponse{
+		Graph:   entry.name,
+		Epoch:   epoch,
+		Pattern: p.String(),
+		Induced: req.Induced,
+		Tenant:  tenant,
+	}
+	key := cacheKey{
+		graph:   entry.name,
+		epoch:   epoch,
+		code:    p.CanonicalCode(),
+		induced: req.Induced,
+		flavor:  constraintFlavor(p, cons),
+	}
+	if !s.cfg.DisableCache {
+		if v, ok := s.cache.get(key); ok {
+			tenantCounter("cache_hit", tenant).Inc()
+			resp.Count, resp.Cached = v, true
+			resp.ElapsedNS = time.Since(begin).Nanoseconds()
+			writeJSON(w, http.StatusOK, resp)
+			return
+		}
+	}
+
+	// The GEO rewrite layer: ask the decomposition oracle whether this
+	// count is derivable from edge-induced counts of connected
+	// subpatterns, then serve it from cached counts — executing only the
+	// pieces the cache is missing.
+	var recipe *decomp.Rewrite
+	if len(cons) == 0 && !s.cfg.DisableRewrite {
+		rw, ok, err := decomp.RewriteQuery(p.Raw(), req.Induced)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		if ok {
+			recipe = rw
+		}
+	}
+
+	var count int64
+	if recipe != nil {
+		count, err = s.runRewrite(w, r, entry, tc, tenant, recipe, resp)
+	} else {
+		count, err = s.runDirect(w, r, entry, tc, tenant, p, cons, req.Induced, resp)
+	}
+	if err != nil {
+		return // runRewrite/runDirect already wrote the error response
+	}
+	if !s.cfg.DisableCache {
+		s.cache.put(key, count)
+	}
+	resp.Count = count
+	resp.ElapsedNS = time.Since(begin).Nanoseconds()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// needKey is the cache key of one rewrite need: always an edge-induced,
+// unconstrained count of a connected pattern.
+func (s *Server) needKey(entry *graphEntry, epoch uint64, q *pattern.Pattern) cacheKey {
+	return cacheKey{graph: entry.name, epoch: epoch, code: string(q.Canonical())}
+}
+
+// runRewrite serves a query via its decomposition recipe: needs present
+// in the result cache are reused as-is; missing needs are priced,
+// admitted and executed as budgeted subqueries (and cached). A query
+// whose needs were all cached never touches the VM and reports
+// Rewritten. On error, the HTTP response has been written and a non-nil
+// error is returned.
+func (s *Server) runRewrite(w http.ResponseWriter, r *http.Request, entry *graphEntry, tc TenantConfig, tenant string, recipe *decomp.Rewrite, resp *queryResponse) (int64, error) {
+	counts := map[pattern.Code]int64{}
+	var missing []*pattern.Pattern
+	for _, q := range recipe.Needs {
+		if !s.cfg.DisableCache {
+			if v, ok := s.cache.get(s.needKey(entry, resp.Epoch, q)); ok {
+				counts[q.Canonical()] = v
+				continue
+			}
+		}
+		missing = append(missing, q)
+	}
+
+	if len(missing) > 0 {
+		var price float64
+		for _, q := range missing {
+			c, err := entry.sys.EstimateCost(decomine.RawPattern(q), decomine.QueryOpts{})
+			if err != nil {
+				writeError(w, http.StatusBadRequest, err)
+				return 0, err
+			}
+			price += c
+		}
+		resp.EstimatedCost = price
+		release, err := s.admit(w, r, tc, tenant, price)
+		if err != nil {
+			return 0, err
+		}
+		defer release()
+		fuel := grantFuel(tc)
+		for _, q := range missing {
+			res, err := entry.sys.CountPatternOpts(decomine.RawPattern(q), decomine.QueryOpts{Fuel: fuel})
+			if err != nil {
+				writeQueryError(w, err)
+				return 0, err
+			}
+			resp.ExecutedSubqueries++
+			resp.Instructions += res.Stats.Exec.Instructions
+			counts[q.Canonical()] = res.Count
+			if !s.cfg.DisableCache {
+				s.cache.put(s.needKey(entry, resp.Epoch, q), res.Count)
+			}
+		}
+	}
+
+	count, err := recipe.Eval(counts)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return 0, err
+	}
+	if len(missing) == 0 {
+		resp.Rewritten = true
+		tenantCounter("rewrite_hit", tenant).Inc()
+	}
+	return count, nil
+}
+
+// runDirect executes the query as a single plan run: connected
+// edge-induced patterns (optionally constrained), or — with the rewrite
+// layer disabled — the library's vertex-induced conversion path
+// (unbudgeted). On error, the HTTP response has been written.
+func (s *Server) runDirect(w http.ResponseWriter, r *http.Request, entry *graphEntry, tc TenantConfig, tenant string, p *decomine.Pattern, cons []decomine.LabelConstraint, induced bool, resp *queryResponse) (int64, error) {
+	price, err := entry.sys.EstimateCost(p, decomine.QueryOpts{Constraints: cons})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return 0, err
+	}
+	resp.EstimatedCost = price
+	release, err := s.admit(w, r, tc, tenant, price)
+	if err != nil {
+		return 0, err
+	}
+	defer release()
+	if induced {
+		// Only reachable with DisableRewrite: the conversion path runs
+		// inside the scheduling slot but outside the fuel grant.
+		count, err := entry.sys.GetPatternCountVertexInduced(p)
+		if err != nil {
+			writeQueryError(w, err)
+			return 0, err
+		}
+		resp.ExecutedSubqueries++
+		return count, nil
+	}
+	res, err := entry.sys.CountPatternOpts(p, decomine.QueryOpts{Constraints: cons, Fuel: grantFuel(tc)})
+	if err != nil {
+		writeQueryError(w, err)
+		return 0, err
+	}
+	resp.ExecutedSubqueries++
+	resp.Instructions = res.Stats.Exec.Instructions
+	return res.Count, nil
+}
+
+// admit enforces the tenant's price ceiling and queue cap, then blocks
+// for a fair-scheduled execution slot. On rejection the HTTP response
+// has been written and a non-nil error returned; on success the
+// returned release frees the slot.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request, tc TenantConfig, tenant string, price float64) (func(), error) {
+	if tc.MaxEstimatedCost > 0 && price > tc.MaxEstimatedCost {
+		tenantCounter("rejected", tenant).Inc()
+		err := fmt.Errorf("server: estimated cost %.3g exceeds tenant ceiling %.3g", price, tc.MaxEstimatedCost)
+		writeError(w, http.StatusTooManyRequests, err)
+		return nil, err
+	}
+	release, err := s.sched.acquire(r.Context(), tenant, tc.MaxQueued)
+	if err != nil {
+		tenantCounter("rejected", tenant).Inc()
+		status := http.StatusTooManyRequests
+		if errors.Is(err, r.Context().Err()) && r.Context().Err() != nil {
+			status = statusClientClosed
+		}
+		writeError(w, status, err)
+		return nil, err
+	}
+	tenantCounter("admitted", tenant).Inc()
+	return release, nil
+}
+
+// grantFuel builds the request's shared instruction counter from the
+// tenant's grant (nil = unlimited).
+func grantFuel(tc TenantConfig) *atomic.Int64 {
+	if tc.MaxInstructions <= 0 {
+		return nil
+	}
+	f := new(atomic.Int64)
+	f.Store(tc.MaxInstructions)
+	return f
+}
+
+// writeQueryError maps execution errors to HTTP statuses: a drained
+// instruction grant is a tenant-budget rejection, a canceled query a
+// client-side close, anything else a server error.
+func writeQueryError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, decomine.ErrBudgetExceeded):
+		writeError(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, decomine.ErrCanceled):
+		writeError(w, statusClientClosed, err)
+	default:
+		writeError(w, http.StatusInternalServerError, err)
+	}
+}

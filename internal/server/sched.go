@@ -1,0 +1,119 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// errQueueFull rejects a query whose tenant already has MaxQueued
+// queries waiting for an execution slot.
+var errQueueFull = errors.New("server: tenant queue full")
+
+// fairSched grants a bounded number of concurrent execution slots,
+// round-robining grants across tenants: a tenant flooding the server
+// delays its own queue, not everyone else's. Waiters are granted FIFO
+// within a tenant.
+type fairSched struct {
+	mu      sync.Mutex
+	max     int
+	running int
+	queues  map[string][]*schedWaiter
+	// ring is the tenant grant order (tenants in first-seen order);
+	// next is the ring index the grant scan starts from.
+	ring []string
+	next int
+}
+
+type schedWaiter struct {
+	ch chan struct{}
+}
+
+func newFairSched(maxRunning int) *fairSched {
+	if maxRunning < 1 {
+		maxRunning = 1
+	}
+	return &fairSched{max: maxRunning, queues: map[string][]*schedWaiter{}}
+}
+
+// acquire blocks until the tenant is granted an execution slot,
+// returning the release function. It fails fast with errQueueFull when
+// the tenant already has maxQueued waiters (0 = unlimited), and
+// abandons the wait when ctx is done.
+func (s *fairSched) acquire(ctx context.Context, tenant string, maxQueued int) (func(), error) {
+	s.mu.Lock()
+	if _, ok := s.queues[tenant]; !ok {
+		s.queues[tenant] = nil
+		s.ring = append(s.ring, tenant)
+	}
+	if maxQueued > 0 && len(s.queues[tenant]) >= maxQueued {
+		s.mu.Unlock()
+		return nil, errQueueFull
+	}
+	w := &schedWaiter{ch: make(chan struct{})}
+	s.queues[tenant] = append(s.queues[tenant], w)
+	s.kickLocked()
+	s.mu.Unlock()
+
+	select {
+	case <-w.ch:
+		return s.release, nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		if s.removeLocked(tenant, w) {
+			// Still queued: just forget it.
+			s.mu.Unlock()
+		} else {
+			// Granted concurrently with the cancellation: give the slot
+			// back.
+			s.mu.Unlock()
+			s.release()
+		}
+		return nil, ctx.Err()
+	}
+}
+
+func (s *fairSched) release() {
+	s.mu.Lock()
+	s.running--
+	s.kickLocked()
+	s.mu.Unlock()
+}
+
+// kickLocked grants free slots to queued waiters, scanning tenants
+// round-robin from the ring cursor.
+func (s *fairSched) kickLocked() {
+	for s.running < s.max {
+		granted := false
+		for i := 0; i < len(s.ring); i++ {
+			t := s.ring[(s.next+i)%len(s.ring)]
+			q := s.queues[t]
+			if len(q) == 0 {
+				continue
+			}
+			w := q[0]
+			s.queues[t] = q[1:]
+			s.next = (s.next + i + 1) % len(s.ring)
+			s.running++
+			close(w.ch)
+			granted = true
+			break
+		}
+		if !granted {
+			return
+		}
+	}
+}
+
+// removeLocked unlinks a still-queued waiter, reporting whether it was
+// found (false means it was already granted).
+func (s *fairSched) removeLocked(tenant string, w *schedWaiter) bool {
+	q := s.queues[tenant]
+	for i, x := range q {
+		if x == w {
+			s.queues[tenant] = append(q[:i:i], q[i+1:]...)
+			return true
+		}
+	}
+	return false
+}

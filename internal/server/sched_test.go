@@ -1,0 +1,124 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// queueLen reports how many waiters tenant has queued (test helper).
+func (s *fairSched) queueLen(tenant string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.queues[tenant])
+}
+
+// TestFairSchedRoundRobin pins the fairness property: with one slot and
+// tenant a holding it plus two more a-queries queued, a later arrival
+// from tenant b is granted before a's second queued query.
+func TestFairSchedRoundRobin(t *testing.T) {
+	s := newFairSched(1)
+	ctx := context.Background()
+
+	relA1, err := s.acquire(ctx, "a", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	var order []string
+	start := func(tenant, label string) chan func() {
+		got := make(chan func(), 1)
+		go func() {
+			rel, err := s.acquire(ctx, tenant, 0)
+			if err != nil {
+				t.Error(err)
+				close(got)
+				return
+			}
+			mu.Lock()
+			order = append(order, label)
+			mu.Unlock()
+			got <- rel
+		}()
+		return got
+	}
+	waitQueued := func(tenant string, n int) {
+		deadline := time.Now().Add(5 * time.Second)
+		for s.queueLen(tenant) < n {
+			if time.Now().After(deadline) {
+				t.Fatalf("tenant %s never reached queue length %d", tenant, n)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	// Queue a2, a3 (in order), then b1.
+	a2 := start("a", "a2")
+	waitQueued("a", 1)
+	a3 := start("a", "a3")
+	waitQueued("a", 2)
+	b1 := start("b", "b1")
+	waitQueued("b", 1)
+
+	// Release the slot three times; the round-robin cursor must
+	// interleave b between a's queued work: a2, b1, a3.
+	relA1()
+	rel := <-a2
+	rel()
+	rel = <-b1
+	rel()
+	rel = <-a3
+	rel()
+
+	mu.Lock()
+	defer mu.Unlock()
+	want := []string{"a2", "b1", "a3"}
+	for i, w := range want {
+		if i >= len(order) || order[i] != w {
+			t.Fatalf("grant order %v, want %v", order, want)
+		}
+	}
+}
+
+// TestFairSchedQueueCapAndCancel covers the MaxQueued rejection and the
+// context-cancellation path for a queued waiter.
+func TestFairSchedQueueCapAndCancel(t *testing.T) {
+	s := newFairSched(1)
+	ctx := context.Background()
+
+	rel, err := s.acquire(ctx, "a", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued := make(chan error, 1)
+	go func() {
+		r, err := s.acquire(ctx, "a", 1)
+		if err == nil {
+			defer r()
+		}
+		queued <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.queueLen("a") < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Queue is at its cap of 1: the next acquire is rejected immediately.
+	if _, err := s.acquire(ctx, "a", 1); err != errQueueFull {
+		t.Fatalf("over-cap acquire: %v, want errQueueFull", err)
+	}
+	// A canceled waiter leaves the queue.
+	cctx, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := s.acquire(cctx, "b", 0); err != context.Canceled {
+		t.Fatalf("canceled acquire: %v, want context.Canceled", err)
+	}
+	rel()
+	if err := <-queued; err != nil {
+		t.Fatalf("queued waiter: %v", err)
+	}
+}

@@ -33,7 +33,7 @@ func (s *System) MotifCounts(k int) ([]MotifCount, error) {
 		// plan cache and engine path, and additionally shows up at
 		// /debug/queries while running and in the slow-query log when it
 		// crosses the threshold.
-		r, err := s.countPattern(&Pattern{p}, nil, nil)
+		r, err := s.countPattern(&Pattern{p}, nil, nil, QueryOpts{})
 		if err != nil {
 			return nil, err
 		}

@@ -77,7 +77,7 @@ func (s *System) CountPatternAsync(p *Pattern) *QueryHandle {
 	}
 	go func() {
 		defer close(h.done)
-		h.res, h.err = s.countPattern(p, &h.cancel, h.tracker)
+		h.res, h.err = s.countPattern(p, &h.cancel, h.tracker, QueryOpts{})
 	}()
 	return h
 }

@@ -1,0 +1,113 @@
+package decomine
+
+import (
+	"errors"
+	"sync/atomic"
+	"time"
+
+	"decomine/internal/core"
+	"decomine/internal/engine"
+	"decomine/internal/pattern"
+)
+
+// ErrBudgetExceeded is returned by a counting query that ran out of its
+// QueryOpts.MaxInstructions budget before the execution phase finished.
+var ErrBudgetExceeded = errors.New("decomine: instruction budget exceeded")
+
+// QueryOpts refines a counting query. The zero value means a plain
+// unconstrained, unbudgeted edge-induced count.
+type QueryOpts struct {
+	// Constraints restricts the count to embeddings whose vertex labels
+	// satisfy every group constraint (see CountWithConstraints).
+	Constraints []LabelConstraint
+	// MaxInstructions, when > 0, caps the bytecode instructions the
+	// execution phase may spend (VM only; summed across workers). A run
+	// that exhausts the budget aborts through the engine's cancellation
+	// window — overshooting by at most a few thousand instructions per
+	// worker — and returns ErrBudgetExceeded. The multi-tenant server
+	// prices admission with EstimateCost and enforces the grant here.
+	MaxInstructions int64
+	// Fuel, when non-nil, is a shared instruction budget this query
+	// debits instead of (and overriding) MaxInstructions, so several
+	// queries enforce one joint grant. Exhaustion returns
+	// ErrBudgetExceeded.
+	Fuel *atomic.Int64
+}
+
+// fuelCounter returns the shared budget counter for this query, or nil
+// when the query is unbudgeted.
+func (o *QueryOpts) fuelCounter() *atomic.Int64 {
+	if o.Fuel != nil {
+		return o.Fuel
+	}
+	if o.MaxInstructions > 0 {
+		f := new(atomic.Int64)
+		f.Store(o.MaxInstructions)
+		return f
+	}
+	return nil
+}
+
+// planFor returns the cached plan entry for p under these options,
+// sharing the plan cache with every other API (constrained queries key
+// by their constraint flavor, like CountWithConstraints).
+func (s *System) planFor(p *Pattern, o QueryOpts) (*planEntry, bool, error) {
+	if len(o.Constraints) == 0 {
+		return s.planFull(p.p, core.ModeCount, false)
+	}
+	ccons := toCoreConstraints(o.Constraints)
+	return s.planFlavor(p.p, core.ModeCount, false, constraintFlavor(o.Constraints),
+		func(so *core.SearchOptions) { so.Constraints = ccons })
+}
+
+// CountPatternOpts is CountPattern with per-query options: label
+// constraints and an instruction budget. It returns ErrBudgetExceeded
+// when the budget ran out mid-execution.
+func (s *System) CountPatternOpts(p *Pattern, o QueryOpts) (*Result, error) {
+	return s.countPattern(p, nil, nil, o)
+}
+
+// CountPatternAsyncOpts is CountPatternAsync with per-query options.
+func (s *System) CountPatternAsyncOpts(p *Pattern, o QueryOpts) *QueryHandle {
+	h := &QueryHandle{
+		started: time.Now(),
+		tracker: &engine.ProgressTracker{},
+		done:    make(chan struct{}),
+	}
+	go func() {
+		defer close(h.done)
+		h.res, h.err = s.countPattern(p, &h.cancel, h.tracker, o)
+	}()
+	return h
+}
+
+// EstimateCost prices a query without executing it: it returns the cost
+// model's estimate for the plan the compiler selects for p under these
+// options (calibrated units when Calibrate ran — roughly comparable to
+// executed instructions — model units otherwise). The search outcome is
+// cached in the plan cache, so estimating and then running a query
+// compiles once. Admission control in the serving layer rejects or
+// queues queries by this price.
+func (s *System) EstimateCost(p *Pattern, o QueryOpts) (float64, error) {
+	e, _, err := s.planFor(p, o)
+	if err != nil {
+		return 0, err
+	}
+	return e.cost, nil
+}
+
+// CanonicalCode returns the pattern's canonical isomorphism-class code:
+// two patterns (including vertex labels) get equal codes iff they are
+// isomorphic. The serving layer's result cache keys on it, so
+// differently-numbered spellings of the same pattern share one entry.
+func (p *Pattern) CanonicalCode() string { return string(p.p.Canonical()) }
+
+// Raw exposes the wrapped internal pattern. It is a bridge for
+// in-module layers (the query server's rewrite oracle) that need the
+// pattern algebra in internal/pattern and internal/decomp; code outside
+// this module cannot name the returned type.
+func (p *Pattern) Raw() *pattern.Pattern { return p.p }
+
+// RawPattern wraps an internal pattern (e.g. a decomposition
+// subpattern) for the public counting APIs; the inverse of Raw.
+func RawPattern(q *pattern.Pattern) *Pattern { return &Pattern{q} }

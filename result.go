@@ -88,23 +88,30 @@ func execStatsFromResult(res *engine.Result) ExecStats {
 // visible (with live progress) at /debug/queries; queries slower than
 // obs.SetSlowQueryThreshold land in the slow-query log.
 func (s *System) CountPattern(p *Pattern) (*Result, error) {
-	return s.countPattern(p, nil, nil)
+	return s.countPattern(p, nil, nil, QueryOpts{})
 }
 
 // countPattern is the shared synchronous/asynchronous query body.
-// cancel (optional) aborts the execution phase; tracker (optional,
-// allocated here when nil) receives root-range completion accounting
-// and backs the live-progress registration.
-func (s *System) countPattern(p *Pattern, cancel *atomic.Bool, tracker *engine.ProgressTracker) (*Result, error) {
+// cancel (optional, allocated here when nil so every query is
+// cancelable from /debug/queries) aborts the execution phase; tracker
+// (optional, allocated here when nil) receives root-range completion
+// accounting and backs the live-progress registration. qo refines the
+// query (constraints, instruction budget); budget exhaustion surfaces
+// as ErrBudgetExceeded.
+func (s *System) countPattern(p *Pattern, cancel *atomic.Bool, tracker *engine.ProgressTracker, qo QueryOpts) (*Result, error) {
 	name := "count:" + p.String()
 	begin := time.Now()
 	if tracker == nil {
 		tracker = &engine.ProgressTracker{}
 	}
+	if cancel == nil {
+		cancel = new(atomic.Bool)
+	}
+	fuel := qo.fuelCounter()
 	tr := obs.NewTrace(name)
-	_, unregister := obs.RegisterQuery(name, tracker.Fraction)
+	_, unregister := obs.RegisterQueryCancelable(name, tracker.Fraction, func() { cancel.Store(true) })
 	defer unregister()
-	e, hit, err := s.planFull(p.p, core.ModeCount, false)
+	e, hit, err := s.planFor(p, qo)
 	if err != nil {
 		tr.Finish(err)
 		return nil, err
@@ -120,12 +127,19 @@ func (s *System) countPattern(p *Pattern, cancel *atomic.Bool, tracker *engine.P
 		tr.Span(obs.PhaseEnumerate, e.stats.EnumerateTime, e.stats.Candidates)
 		tr.Span(obs.PhaseRank, e.stats.RankTime, e.stats.Candidates)
 	}
-	count, res, lowerDur, err := s.runStats(e.plan, nil, cancel, tracker)
+	count, res, lowerDur, err := s.runStats(e.plan, nil, cancel, tracker, fuel)
 	if err != nil {
 		tr.Finish(err)
 		return nil, err
 	}
 	if res.Canceled {
+		// A run can stop for two reasons on this path: the cancel flag
+		// (explicit Cancel, or /debug/queries/cancel) or a drained fuel
+		// budget. The budget going negative identifies the latter.
+		if fuel != nil && fuel.Load() < 0 {
+			tr.Finish(ErrBudgetExceeded)
+			return nil, ErrBudgetExceeded
+		}
 		tr.Finish(ErrCanceled)
 		return nil, ErrCanceled
 	}
