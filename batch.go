@@ -1,0 +1,630 @@
+// Batched multi-pattern execution with cross-query subpattern sharing.
+//
+// A batch compiles every member query up front, canonicalizes the
+// decomposition subpatterns and shrinkage quotients that appear across
+// the chosen plans into one intra-batch subcount table, and executes
+// each distinct subquery exactly once. Quotients demanded by two or
+// more plans (or already present in the external cache) are
+// *externalized*: their enumeration loops are compiled out of the
+// member plans (core.DecompSpec.SkipShrinkCodes) and their standalone
+// counts — executed once, or served from the cache — are subtracted at
+// extraction time (core.Plan.ExtractCount). Residual subqueries run
+// concurrently on the System's steal-pool in dependency waves: a
+// quotient has strictly fewer vertices than the pattern it shrinks, so
+// scheduling by ascending vertex count resolves every externalized
+// need before its dependents run.
+package decomine
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"decomine/internal/core"
+	"decomine/internal/decomp"
+	"decomine/internal/obs"
+	"decomine/internal/pattern"
+)
+
+var (
+	obsBatches         = obs.Default.Counter("engine.batch.batches")
+	obsBatchPatterns   = obs.Default.Counter("engine.batch.patterns")
+	obsBatchSubqueries = obs.Default.Counter("engine.batch.subqueries")
+	obsBatchSharedHits = obs.Default.Counter("engine.batch.shared_hits")
+	obsBatchCacheHits  = obs.Default.Counter("engine.batch.cache_hits")
+	obsBatchHarvested  = obs.Default.Counter("engine.batch.harvested")
+)
+
+// BatchCache is an external subcount store consulted before executing a
+// batch subquery and populated with every count the batch derives —
+// executed subquery results and harvested shrinkage-quotient counts
+// alike. Keys are canonical pattern codes of connected patterns; values
+// are unconstrained edge-induced copy counts — the same (code, flavor)
+// discipline as the serving layer's epoch-keyed result cache, which
+// adapts to this interface in internal/server. Implementations must be
+// safe for concurrent use.
+type BatchCache interface {
+	Lookup(code string) (int64, bool)
+	Store(code string, count int64)
+}
+
+// BatchOpts configures a CountPatterns run. The zero value counts
+// edge-induced, shares subqueries, runs unbudgeted, and uses the
+// System's thread count for scheduling.
+type BatchOpts struct {
+	// Induced counts vertex-induced embeddings of every member (each
+	// member must be connected); the batch executes the edge-induced
+	// supergraph-class needs and composes through inclusion-exclusion.
+	Induced bool
+	// NoShare disables cross-query subpattern sharing and concurrent
+	// scheduling: members run sequentially, each executing its own
+	// needs independently — the serial per-pattern baseline the bench
+	// suite compares against. Counts are bit-identical either way.
+	NoShare bool
+	// Parallelism caps how many batch subqueries run concurrently on
+	// the pool (0 = the System's thread count).
+	Parallelism int
+	// MaxInstructions, when > 0, is a joint VM instruction budget for
+	// the whole batch (every subquery debits one shared grant);
+	// exhaustion returns ErrBudgetExceeded.
+	MaxInstructions int64
+	// Fuel, when non-nil, overrides MaxInstructions with a caller-owned
+	// shared budget counter (the server's per-tenant grant).
+	Fuel *atomic.Int64
+	// Cache, when non-nil, is the external subcount store (see
+	// BatchCache).
+	Cache BatchCache
+	// Admit, when non-nil, is called once with the cost-model price of
+	// the batch's residual execution set before anything runs. It
+	// returns a release callback (invoked when the batch finishes) or
+	// an error that aborts the batch — the server's admission hook.
+	Admit func(price float64) (release func(), err error)
+}
+
+// BatchStats summarizes one CountPatterns run.
+type BatchStats struct {
+	// Patterns is the number of member queries; Subqueries the number
+	// of distinct subqueries actually executed.
+	Patterns   int
+	Subqueries int
+	// SharedHits counts subquery demands served without a dedicated
+	// execution: total references (member needs plus externalized
+	// shrinkage resolutions) minus distinct demanded subqueries. It is
+	// a deterministic function of the batch and the plans, independent
+	// of thread count; zero under NoShare.
+	SharedHits int64
+	// CacheHits counts demanded subqueries served from BatchCache.
+	CacheHits int64
+	// Harvested counts distinct shrinkage-quotient subcounts collected
+	// as execution by-products (stored into BatchCache when set).
+	Harvested int64
+	// Instructions is the total VM instructions executed across the
+	// batch's subqueries.
+	Instructions int64
+	// EstimatedCost is the cost-model price of the execution set — what
+	// Admit was offered.
+	EstimatedCost float64
+	// CompileTime aggregates plan-search time spent on plan-cache
+	// misses; ExecTime is the wall-clock of the execution waves.
+	CompileTime time.Duration
+	ExecTime    time.Duration
+}
+
+// BatchResult pairs the per-member results (input order; Count is
+// vertex-induced under BatchOpts.Induced, edge-induced otherwise) with
+// the batch-level stats. A member whose own edge-induced class was
+// executed this batch carries that subquery's QueryStats.
+type BatchResult struct {
+	Results []*Result
+	Stats   BatchStats
+}
+
+// batchMember is one resolved member query: its need codes (deduped, in
+// recipe order) and the composition recipe.
+type batchMember struct {
+	pat      *Pattern
+	own      pattern.Code
+	needs    []pattern.Code
+	needPats []*pattern.Pattern
+	eval     func(counts map[pattern.Code]int64) (int64, error)
+}
+
+// rewriteKey keys the System's batch-member recipe cache.
+type rewriteKey struct {
+	code    pattern.Code
+	induced bool
+}
+
+// batchMemberFor resolves p's batch recipe, memoizing by canonical code:
+// isomorphic members share needs and composition (the conversion-plan
+// enumeration behind induced recipes is expensive for 6-vertex classes,
+// and batch applications resubmit the same pattern sets every epoch).
+func (s *System) batchMemberFor(p *Pattern, induced bool) (*batchMember, error) {
+	key := rewriteKey{code: p.p.Canonical(), induced: induced}
+	s.mu.Lock()
+	if m, ok := s.rewriteCache[key]; ok {
+		s.mu.Unlock()
+		return m, nil
+	}
+	s.mu.Unlock()
+	m, err := newBatchMember(p, induced)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if s.rewriteCache == nil {
+		s.rewriteCache = map[rewriteKey]*batchMember{}
+	}
+	if prev, ok := s.rewriteCache[key]; ok {
+		m = prev // a concurrent resolve won; keep one canonical recipe
+	} else {
+		s.rewriteCache[key] = m
+	}
+	s.mu.Unlock()
+	return m, nil
+}
+
+func newBatchMember(p *Pattern, induced bool) (*batchMember, error) {
+	m := &batchMember{pat: p, own: p.p.Canonical()}
+	rw, ok, err := decomp.RewriteQuery(p.p, induced)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		// Connected edge-induced: the member is its own (only) need.
+		own := m.own
+		str := p.String()
+		m.needs = []pattern.Code{own}
+		m.needPats = []*pattern.Pattern{p.p}
+		m.eval = func(counts map[pattern.Code]int64) (int64, error) {
+			c, found := counts[own]
+			if !found {
+				return 0, fmt.Errorf("decomine: batch is missing the count of %s", str)
+			}
+			return c, nil
+		}
+		return m, nil
+	}
+	for _, q := range rw.Needs {
+		m.needs = append(m.needs, q.Canonical())
+		m.needPats = append(m.needPats, q)
+	}
+	m.eval = rw.Eval
+	return m, nil
+}
+
+// CountPatterns answers a whole set of counting queries as one batch
+// with cross-query subpattern sharing (see the package comment at the
+// top of this file): every distinct subquery across the members' chosen
+// plans executes exactly once, shrinkage quotients demanded more than
+// once are externalized and counted standalone, and the residual
+// subqueries run concurrently on the System's pool. Results are
+// returned in input order and are bit-identical to counting each member
+// separately. Label constraints are not batched — use CountPatternOpts
+// for constrained queries.
+func (s *System) CountPatterns(ps []*Pattern, o BatchOpts) (*BatchResult, error) {
+	if len(ps) == 0 {
+		return &BatchResult{}, nil
+	}
+
+	// Resolve every member to its rewrite recipe and collect the
+	// distinct need set.
+	members := make([]*batchMember, len(ps))
+	needPat := map[pattern.Code]*pattern.Pattern{}
+	var memberRefs int64
+	for i, p := range ps {
+		m, err := s.batchMemberFor(p, o.Induced)
+		if err != nil {
+			return nil, err
+		}
+		members[i] = m
+		memberRefs += int64(len(m.needs))
+		for j, c := range m.needs {
+			if _, ok := needPat[c]; !ok {
+				needPat[c] = m.needPats[j]
+			}
+		}
+	}
+	if o.NoShare {
+		return s.countPatternsSerial(ps, members, o)
+	}
+
+	// Serve needs from the external cache before planning anything.
+	cached := map[pattern.Code]int64{}
+	lookup := func(c pattern.Code) (int64, bool) {
+		if v, ok := cached[c]; ok {
+			return v, true
+		}
+		if o.Cache == nil {
+			return 0, false
+		}
+		v, ok := o.Cache.Lookup(string(c))
+		if ok {
+			cached[c] = v
+		}
+		return v, ok
+	}
+	table := map[pattern.Code]int64{}
+	var cacheHits int64
+	needCodes := sortedCodes(needPat)
+	var liveNeeds []pattern.Code
+	for _, c := range needCodes {
+		if v, ok := lookup(c); ok {
+			table[c] = v
+			cacheHits++
+			continue
+		}
+		liveNeeds = append(liveNeeds, c)
+	}
+
+	// Plan every live need (std flavor) and tally shrinkage-quotient
+	// demand across the batch.
+	var compileTime time.Duration
+	entry := map[pattern.Code]*planEntry{}
+	refs := map[pattern.Code]int64{}
+	quotPat := map[pattern.Code]*pattern.Pattern{}
+	for _, c := range liveNeeds {
+		e, hit, err := s.planFull(needPat[c], core.ModeCount, false)
+		if err != nil {
+			return nil, err
+		}
+		if !hit {
+			compileTime += e.stats.EnumerateTime + e.stats.RankTime
+		}
+		entry[c] = e
+		for _, sh := range e.plan.Shrink {
+			refs[sh.Code]++
+			if _, ok := quotPat[sh.Code]; !ok {
+				quotPat[sh.Code] = sh.Pat
+			}
+		}
+	}
+
+	// Externalize a quotient when its standalone count pays for itself:
+	// it is demanded at least twice across the batch (counting an
+	// appearance in the need set itself), or the cache already has it.
+	ext := map[pattern.Code]bool{}
+	for c, n := range refs {
+		demand := n
+		if _, isNeed := needPat[c]; isNeed {
+			demand++
+		}
+		if _, isCached := lookup(c); demand >= 2 || isCached {
+			ext[c] = true
+		}
+	}
+
+	// Replan the needs whose plan enumerates an externalized quotient
+	// under the batch's skip flavor. The smaller skip-flavor ASTs rank
+	// cheaper, so the search naturally favors decompositions that lean
+	// on the shared quotients.
+	var flavor string
+	var tweak func(*core.SearchOptions)
+	skip := map[pattern.Code]bool{}
+	if len(ext) > 0 {
+		flavor = skipFlavor(ext)
+		tweak = func(so *core.SearchOptions) { so.SkipShrinkCodes = ext }
+		for _, c := range liveNeeds {
+			replan := false
+			for _, sh := range entry[c].plan.Shrink {
+				if ext[sh.Code] {
+					replan = true
+					break
+				}
+			}
+			if !replan {
+				continue
+			}
+			se, hit, err := s.planFlavor(needPat[c], core.ModeCount, false, flavor, tweak)
+			if err != nil {
+				return nil, err
+			}
+			if !hit {
+				compileTime += se.stats.EnumerateTime + se.stats.RankTime
+			}
+			entry[c] = se
+			skip[c] = true
+		}
+	}
+
+	// The execution set: live needs plus externalized quotients not
+	// already resolved (from the cache, or as a need themselves).
+	allPat := map[pattern.Code]*pattern.Pattern{}
+	for c, p := range needPat {
+		allPat[c] = p
+	}
+	execCodes := append([]pattern.Code(nil), liveNeeds...)
+	for _, c := range sortedCodes(quotPat) {
+		if !ext[c] {
+			continue
+		}
+		if _, ok := allPat[c]; ok {
+			continue
+		}
+		allPat[c] = quotPat[c]
+		if _, ok := table[c]; ok {
+			cacheHits++
+			continue
+		}
+		e, hit, err := s.planFull(quotPat[c], core.ModeCount, false)
+		if err != nil {
+			return nil, err
+		}
+		if !hit {
+			compileTime += e.stats.EnumerateTime + e.stats.RankTime
+		}
+		entry[c] = e
+		execCodes = append(execCodes, c)
+	}
+
+	// Price the residual work and admit the whole batch at once.
+	var price float64
+	for _, c := range execCodes {
+		price += entry[c].cost
+	}
+	if o.Admit != nil {
+		release, err := o.Admit(price)
+		if err != nil {
+			return nil, err
+		}
+		defer release()
+	}
+
+	// Execute in dependency waves (ascending vertex count), concurrent
+	// within each wave on the shared pool.
+	fuel := (&QueryOpts{MaxInstructions: o.MaxInstructions, Fuel: o.Fuel}).fuelCounter()
+	var (
+		mu           sync.Mutex
+		firstErr     error
+		cancel       atomic.Bool
+		instructions int64
+		harvested    = map[pattern.Code]int64{}
+		subStats     = map[pattern.Code]*QueryStats{}
+	)
+	resolve := func(c pattern.Code) (int64, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		v, ok := table[c]
+		return v, ok
+	}
+	harvest := func(plan *core.Plan, globals []int64) {
+		sub := plan.SubCounts(globals)
+		if len(sub) == 0 {
+			return
+		}
+		mu.Lock()
+		for c, v := range sub {
+			if _, ok := harvested[c]; !ok {
+				harvested[c] = v
+			}
+		}
+		mu.Unlock()
+	}
+	par := s.batchParallelism(o.Parallelism)
+	execStart := time.Now()
+	for _, wave := range batchWaves(execCodes, allPat) {
+		sem := make(chan struct{}, par)
+		var wg sync.WaitGroup
+		for _, c := range wave {
+			c := c
+			wg.Add(1)
+			sem <- struct{}{}
+			go func() {
+				defer wg.Done()
+				defer func() { <-sem }()
+				if cancel.Load() {
+					return
+				}
+				qo := QueryOpts{Fuel: fuel, harvest: harvest}
+				if skip[c] {
+					qo.planFlavor = flavor
+					qo.planTweak = tweak
+					qo.resolve = resolve
+				}
+				r, err := s.countPattern(RawPattern(allPat[c]), &cancel, nil, qo)
+				mu.Lock()
+				defer mu.Unlock()
+				if err != nil {
+					// A sibling's failure cancels the rest of the batch;
+					// prefer the originating error over cascade ErrCanceled.
+					if firstErr == nil || (firstErr == ErrCanceled && err != ErrCanceled) {
+						firstErr = err
+					}
+					cancel.Store(true)
+					return
+				}
+				table[c] = r.Count
+				instructions += r.Stats.Exec.Instructions
+				subStats[c] = &r.Stats
+			}()
+		}
+		wg.Wait()
+		if firstErr != nil {
+			return nil, firstErr
+		}
+	}
+	execTime := time.Since(execStart)
+
+	// Externalized-resolution references, for the shared-hit ledger:
+	// every External entry of an executed plan consumed one table entry
+	// instead of running its own enumeration loops.
+	var externalRefs int64
+	for _, c := range execCodes {
+		externalRefs += int64(len(entry[c].plan.External))
+	}
+
+	// Publish derived counts to the external cache: executed subqueries
+	// and harvested quotient by-products.
+	if o.Cache != nil {
+		for _, c := range execCodes {
+			o.Cache.Store(string(c), table[c])
+		}
+		for c, v := range harvested {
+			if _, ok := table[c]; !ok {
+				o.Cache.Store(string(c), v)
+			}
+		}
+	}
+
+	// Compose the member answers from the subcount table.
+	out := &BatchResult{Results: make([]*Result, len(ps))}
+	for i, m := range members {
+		c, err := m.eval(table)
+		if err != nil {
+			return nil, err
+		}
+		r := &Result{Count: c}
+		if st := subStats[m.own]; st != nil {
+			r.Stats = *st
+		}
+		out.Results[i] = r
+	}
+	bs := &out.Stats
+	bs.Patterns = len(ps)
+	bs.Subqueries = len(execCodes)
+	bs.SharedHits = memberRefs + externalRefs - int64(len(allPat))
+	bs.CacheHits = cacheHits
+	bs.Harvested = int64(len(harvested))
+	bs.Instructions = instructions
+	bs.EstimatedCost = price
+	bs.CompileTime = compileTime
+	bs.ExecTime = execTime
+	obsBatches.Inc()
+	obsBatchPatterns.Add(int64(bs.Patterns))
+	obsBatchSubqueries.Add(int64(bs.Subqueries))
+	obsBatchSharedHits.Add(bs.SharedHits)
+	obsBatchCacheHits.Add(bs.CacheHits)
+	obsBatchHarvested.Add(bs.Harvested)
+	return out, nil
+}
+
+// countPatternsSerial is the NoShare baseline: members run one after
+// another, each executing its own needs independently — no intra-batch
+// subcount table, no externalization, no concurrency. It shares the
+// plan cache with the batched path (compilation is amortized either
+// way; the comparison isolates execution work).
+func (s *System) countPatternsSerial(ps []*Pattern, members []*batchMember, o BatchOpts) (*BatchResult, error) {
+	fuel := (&QueryOpts{MaxInstructions: o.MaxInstructions, Fuel: o.Fuel}).fuelCounter()
+	out := &BatchResult{Results: make([]*Result, len(ps))}
+	bs := &out.Stats
+	bs.Patterns = len(ps)
+	if o.Admit != nil {
+		var price float64
+		for _, m := range members {
+			for _, q := range m.needPats {
+				c, err := s.EstimateCost(RawPattern(q), QueryOpts{})
+				if err != nil {
+					return nil, err
+				}
+				price += c
+			}
+		}
+		bs.EstimatedCost = price
+		release, err := o.Admit(price)
+		if err != nil {
+			return nil, err
+		}
+		defer release()
+	}
+	execStart := time.Now()
+	for i, m := range members {
+		counts := map[pattern.Code]int64{}
+		var own QueryStats
+		for j, q := range m.needPats {
+			r, err := s.countPattern(RawPattern(q), nil, nil, QueryOpts{Fuel: fuel})
+			if err != nil {
+				return nil, err
+			}
+			counts[m.needs[j]] = r.Count
+			bs.Subqueries++
+			bs.Instructions += r.Stats.Exec.Instructions
+			if m.needs[j] == m.own {
+				own = r.Stats
+			}
+		}
+		c, err := m.eval(counts)
+		if err != nil {
+			return nil, err
+		}
+		out.Results[i] = &Result{Count: c, Stats: own}
+	}
+	bs.ExecTime = time.Since(execStart)
+	obsBatches.Inc()
+	obsBatchPatterns.Add(int64(bs.Patterns))
+	obsBatchSubqueries.Add(int64(bs.Subqueries))
+	return out, nil
+}
+
+// batchParallelism resolves the concurrent-subquery cap: the requested
+// value, else the System's thread count, else GOMAXPROCS.
+func (s *System) batchParallelism(requested int) int {
+	par := requested
+	if par <= 0 {
+		par = s.opts.Threads
+	}
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	return par
+}
+
+// skipFlavor derives the plan-cache flavor for skip-compiled plans: a
+// deterministic encoding of the externalized code set (length-prefixed
+// because canonical codes are binary strings). Equal flavors mean equal
+// SkipShrinkCodes sets, so the flavor determines the search tweak as
+// the plan cache requires.
+func skipFlavor(ext map[pattern.Code]bool) string {
+	codes := make([]string, 0, len(ext))
+	for c := range ext {
+		codes = append(codes, string(c))
+	}
+	sort.Strings(codes)
+	var b strings.Builder
+	b.WriteString("skip:")
+	for _, c := range codes {
+		fmt.Fprintf(&b, "%d:%s", len(c), c)
+	}
+	return b.String()
+}
+
+// sortedCodes returns the map's keys in canonical-code order.
+func sortedCodes(m map[pattern.Code]*pattern.Pattern) []pattern.Code {
+	out := make([]pattern.Code, 0, len(m))
+	for c := range m {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// batchWaves groups the execution set into dependency waves by
+// ascending vertex count: a skip-compiled plan's externalized quotients
+// always have strictly fewer vertices than the plan's pattern, so every
+// resolution target completes in an earlier wave. Order within a wave
+// is canonical-code order (stable scheduling; results are
+// order-independent anyway).
+func batchWaves(codes []pattern.Code, pats map[pattern.Code]*pattern.Pattern) [][]pattern.Code {
+	sorted := append([]pattern.Code(nil), codes...)
+	sort.Slice(sorted, func(i, j int) bool {
+		a, b := pats[sorted[i]].NumVertices(), pats[sorted[j]].NumVertices()
+		if a != b {
+			return a < b
+		}
+		return sorted[i] < sorted[j]
+	})
+	var waves [][]pattern.Code
+	for i := 0; i < len(sorted); {
+		j := i
+		v := pats[sorted[i]].NumVertices()
+		for j < len(sorted) && pats[sorted[j]].NumVertices() == v {
+			j++
+		}
+		waves = append(waves, sorted[i:j])
+		i = j
+	}
+	return waves
+}

@@ -31,7 +31,11 @@ func (s *System) runBudget(plan *core.Plan, budget time.Duration) (int64, bool, 
 		return 0, false, err
 	}
 	s.noteExecStats(res)
-	return res.Globals[plan.CountGlobal] / plan.Divisor, res.Canceled, nil
+	count, err := plan.ExtractCount(res.Globals, nil)
+	if err != nil {
+		return 0, false, err
+	}
+	return count, res.Canceled, nil
 }
 
 // GetPatternCountWithin is GetPatternCount with a wall-clock budget.

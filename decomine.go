@@ -154,6 +154,10 @@ type System struct {
 	model     cost.Model
 	planCache map[planKey]*planEntry
 	emitInfo  map[planKey][]subInfo
+	// rewriteCache memoizes batch-member rewrite recipes by canonical
+	// code (ConversionPlan enumeration is expensive for large patterns;
+	// see batch.go). Lazily initialized under mu.
+	rewriteCache map[rewriteKey]*batchMember
 	// calibration, when set, reweights the cost model for every
 	// subsequent algorithm search (see Calibrate).
 	calibration *cost.Calibration
@@ -558,7 +562,7 @@ func (s *System) LastExecStats() ExecStats {
 }
 
 func (s *System) run(plan *core.Plan, newConsumer func(worker int) engine.Consumer) (int64, error) {
-	count, _, _, err := s.runStats(plan, newConsumer, nil, nil, nil)
+	count, _, _, err := s.runStats(plan, newConsumer, nil, nil, nil, nil)
 	return count, err
 }
 
@@ -566,8 +570,10 @@ func (s *System) run(plan *core.Plan, newConsumer func(worker int) engine.Consum
 // per-run stats) and how long assembling the execution state took —
 // which is the bytecode lowering + arena planning on a plan's first
 // run, and ~0 afterwards. cancel, progress and fuel (all optional) are
-// threaded through to the engine run.
-func (s *System) runStats(plan *core.Plan, newConsumer func(worker int) engine.Consumer, cancel *atomic.Bool, progress *engine.ProgressTracker, fuel *atomic.Int64) (int64, *engine.Result, time.Duration, error) {
+// threaded through to the engine run. resolve supplies standalone
+// counts for externalized shrinkages (batch-compiled plans only; plans
+// without externals ignore it).
+func (s *System) runStats(plan *core.Plan, newConsumer func(worker int) engine.Consumer, cancel *atomic.Bool, progress *engine.ProgressTracker, fuel *atomic.Int64, resolve func(pattern.Code) (int64, bool)) (int64, *engine.Result, time.Duration, error) {
 	lowerStart := time.Now()
 	opts := s.execOptions(plan)
 	lowerDur := time.Since(lowerStart)
@@ -580,7 +586,11 @@ func (s *System) runStats(plan *core.Plan, newConsumer func(worker int) engine.C
 		return 0, nil, lowerDur, err
 	}
 	s.noteExecStats(res)
-	return res.Globals[plan.CountGlobal] / plan.Divisor, res, lowerDur, nil
+	count, err := plan.ExtractCount(res.Globals, resolve)
+	if err != nil {
+		return 0, nil, lowerDur, err
+	}
+	return count, res, lowerDur, nil
 }
 
 // GetPatternCount returns the number of edge-induced embeddings of p —

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math/bits"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"decomine/internal/pattern"
@@ -42,7 +44,6 @@ func (s *System) fsm(minSupport int64, maxEdges int, budget time.Duration) ([]Fr
 		r := time.Until(deadline)
 		return r, r > 0
 	}
-	_ = remaining
 	if !s.graph.Labeled() {
 		return nil, false, fmt.Errorf("decomine: FSM requires a labeled graph")
 	}
@@ -110,8 +111,20 @@ func (s *System) fsm(minSupport int64, maxEdges int, budget time.Duration) ([]Fr
 	sort.Slice(labels, func(i, j int) bool { return labels[i] < labels[j] })
 
 	// Levels 2..maxEdges: extend frequent patterns by one edge
-	// (anti-monotonicity of MNI support prunes the search).
+	// (anti-monotonicity of MNI support prunes the search). Each level's
+	// candidates evaluate concurrently on the shared pool — the FSM
+	// analogue of the batch layer's residual-work scheduling — and the
+	// wall-clock deadline is enforced both between levels and before
+	// each candidate launch. On expiry the completed work is returned
+	// with truncated=true instead of being discarded.
+	truncate := func() ([]FrequentPattern, bool, error) {
+		sortFrequentPatterns(results)
+		return results, true, nil
+	}
 	for level := 2; level <= maxEdges && len(frontier) > 0; level++ {
+		if _, ok := remaining(); !ok {
+			return truncate()
+		}
 		candidates := map[pattern.Code]*pattern.Pattern{}
 		for _, p := range frontier {
 			for _, q := range extendByOneEdge(p, labels) {
@@ -128,35 +141,79 @@ func (s *System) fsm(minSupport int64, maxEdges int, budget time.Duration) ([]Fr
 			codes = append(codes, code)
 		}
 		sort.Slice(codes, func(i, j int) bool { return codes[i] < codes[j] })
-		frontier = frontier[:0]
-		for _, code := range codes {
-			q := candidates[code]
+		type candOutcome struct {
+			sup  int64
+			done bool
+		}
+		outcomes := make([]candOutcome, len(codes))
+		errs := make([]error, len(codes))
+		var expired atomic.Bool
+		par := s.batchParallelism(0)
+		sem := make(chan struct{}, par)
+		var wg sync.WaitGroup
+		for idx, code := range codes {
 			seen[code] = true
-			rem, ok := remaining()
-			if !ok {
-				return nil, true, nil
-			}
-			sup, canceled, err := s.patternSupport(q, rem)
+			idx, q := idx, candidates[code]
+			wg.Add(1)
+			sem <- struct{}{}
+			go func() {
+				defer wg.Done()
+				defer func() { <-sem }()
+				if expired.Load() {
+					return
+				}
+				rem, ok := remaining()
+				if !ok {
+					expired.Store(true)
+					return
+				}
+				sup, canceled, err := s.patternSupport(q, rem)
+				if err != nil {
+					errs[idx] = err
+					return
+				}
+				if canceled {
+					expired.Store(true)
+					return
+				}
+				outcomes[idx] = candOutcome{sup: sup, done: true}
+			}()
+		}
+		wg.Wait()
+		for _, err := range errs {
 			if err != nil {
 				return nil, false, err
 			}
-			if canceled {
-				return nil, true, nil
-			}
-			if sup < minSupport {
+		}
+		// Collect in canonical candidate order so the frequent set and
+		// the frontier are schedule-independent.
+		frontier = frontier[:0]
+		for idx, code := range codes {
+			o := outcomes[idx]
+			if !o.done || o.sup < minSupport {
 				continue
 			}
+			q := candidates[code]
 			frontier = append(frontier, q)
-			results = append(results, FrequentPattern{&Pattern{q.Clone()}, sup})
+			results = append(results, FrequentPattern{&Pattern{q.Clone()}, o.sup})
+		}
+		if expired.Load() {
+			return truncate()
 		}
 	}
+	sortFrequentPatterns(results)
+	return results, false, nil
+}
+
+// sortFrequentPatterns orders an FSM result set canonically: by edge
+// count, then pattern spelling.
+func sortFrequentPatterns(results []FrequentPattern) {
 	sort.Slice(results, func(i, j int) bool {
 		if a, b := results[i].Pattern.NumEdges(), results[j].Pattern.NumEdges(); a != b {
 			return a < b
 		}
 		return results[i].Pattern.String() < results[j].Pattern.String()
 	})
-	return results, false, nil
 }
 
 // patternSupport computes MNI support via the partial-embedding API.

@@ -1,0 +1,95 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"decomine"
+)
+
+// batchMotifCensus is the batched-execution workload: the full k-motif
+// census run three ways on one System —
+//
+//  1. cold shared batch (CountPatterns via MotifCountsStats): compiles
+//     every class, externalizes shared shrinkage quotients, executes
+//     each distinct subquery once;
+//  2. warm shared batch: plans and recipes cached, the steady state of
+//     a batch-serving deployment;
+//  3. NoShare serial baseline: every member executes its own needs
+//     independently, no intra-batch subcount table.
+//
+// All three rounds must agree bit-for-bit per class. The workload fails
+// outright if the shared batch does not execute strictly fewer VM
+// instructions than the serial path or reports no shared hits; the
+// instruction totals, shared-hit ledger and subquery count land in the
+// Workload's gated Batch* fields, and the serial-over-warm wall ratio
+// is reported as BatchSpeedup.
+func batchMotifCensus(k int) func(*decomine.System, *Workload) (int64, error) {
+	return func(sys *decomine.System, w *Workload) (int64, error) {
+		cold, coldStats, err := sys.MotifCountsStats(k)
+		if err != nil {
+			return 0, err
+		}
+		warmStart := time.Now()
+		warm, warmStats, err := sys.MotifCountsStats(k)
+		if err != nil {
+			return 0, err
+		}
+		warmWall := time.Since(warmStart)
+		if len(warm) != len(cold) {
+			return 0, fmt.Errorf("warm census found %d classes, cold %d", len(warm), len(cold))
+		}
+		members := make([]*decomine.Pattern, len(cold))
+		for i := range cold {
+			if warm[i].Count != cold[i].Count {
+				return 0, fmt.Errorf("warm re-run of %s disagrees: %d vs %d",
+					cold[i].Pattern, warm[i].Count, cold[i].Count)
+			}
+			members[i] = cold[i].Pattern
+		}
+		// The batch's execution footprint is a function of the plans, not
+		// of compile-cache state or scheduling.
+		if warmStats.Instructions != coldStats.Instructions || warmStats.SharedHits != coldStats.SharedHits {
+			return 0, fmt.Errorf("warm batch accounting drifted: instructions %d/%d, shared hits %d/%d",
+				warmStats.Instructions, coldStats.Instructions, warmStats.SharedHits, coldStats.SharedHits)
+		}
+
+		serialStart := time.Now()
+		ser, err := sys.CountPatterns(members, decomine.BatchOpts{Induced: true, NoShare: true})
+		if err != nil {
+			return 0, err
+		}
+		serialWall := time.Since(serialStart)
+		for i := range cold {
+			if ser.Results[i].Count != cold[i].Count {
+				return 0, fmt.Errorf("serial count of %s disagrees with batch: %d vs %d",
+					cold[i].Pattern, ser.Results[i].Count, cold[i].Count)
+			}
+		}
+
+		// The point of the batch path: strictly less execution work than
+		// counting each member separately.
+		if coldStats.Instructions >= ser.Stats.Instructions {
+			return 0, fmt.Errorf("shared batch executed %d instructions, serial path %d: sharing stopped paying",
+				coldStats.Instructions, ser.Stats.Instructions)
+		}
+		if coldStats.SharedHits <= 0 {
+			return 0, fmt.Errorf("motif census batch reported %d shared hits", coldStats.SharedHits)
+		}
+		w.BatchInstr = coldStats.Instructions
+		w.SerialInstr = ser.Stats.Instructions
+		w.BatchSharedHits = coldStats.SharedHits
+		w.BatchSubqueries = int64(coldStats.Subqueries)
+		if warmWall > 0 {
+			w.BatchSpeedup = float64(serialWall) / float64(warmWall)
+		}
+
+		// Fold the census with step indices so the count gate notices a
+		// value moving between classes, not just the total changing.
+		var total int64
+		for i, mc := range cold {
+			total += int64(i+1) * mc.Count
+		}
+		return total, nil
+	}
+}

@@ -73,7 +73,10 @@ type Workload struct {
 	Throughput float64 `json:"throughput_insn_per_sec"`
 	// CompileNS / ExecNS are the compile.search_ns and engine.exec_ns
 	// registry deltas; CompileFrac = compile/(compile+exec) is the
-	// Figure 18 split.
+	// Figure 18 split. ExecNS is union wall time (the engine counts time
+	// with at least one run active, not the sum of per-run walls), so
+	// workloads whose subqueries overlap on the shared pool are not
+	// multiply-counted.
 	CompileNS   int64   `json:"compile_ns"`
 	ExecNS      int64   `json:"exec_ns"`
 	CompileFrac float64 `json:"compile_frac"`
@@ -133,6 +136,22 @@ type Workload struct {
 	ServeQueries     int64 `json:"serve_queries,omitempty"`
 	ServeCacheHits   int64 `json:"serve_cache_hits,omitempty"`
 	ServeRewriteHits int64 `json:"serve_rewrite_hits,omitempty"`
+	// BatchInstr/SerialInstr are the VM instruction totals of one shared
+	// batch run (CountPatterns) and one NoShare per-pattern run of the
+	// same motif census; BatchSharedHits/BatchSubqueries are the shared
+	// batch's demand-dedup ledger and distinct-subquery count. All four
+	// are deterministic functions of the seed and the plans — independent
+	// of thread count and scheduling — so they are gated hard, and the
+	// workload itself fails if the batch stops executing strictly fewer
+	// instructions than the serial path.
+	BatchInstr      int64 `json:"batch_instructions,omitempty"`
+	SerialInstr     int64 `json:"serial_instructions,omitempty"`
+	BatchSharedHits int64 `json:"batch_shared_hits,omitempty"`
+	BatchSubqueries int64 `json:"batch_subqueries,omitempty"`
+	// BatchSpeedup is the serial run's wall clock over the warm shared
+	// batch's (plans compiled, recipes cached — the steady state of a
+	// batch-serving deployment). Host-dependent; reported, not gated.
+	BatchSpeedup float64 `json:"batch_speedup,omitempty"`
 }
 
 // Report is the machine-readable suite outcome written to
@@ -168,6 +187,11 @@ type workloadSpec struct {
 	// fills the Workload's Serve* fields itself (its script embeds its
 	// own determinism checks, so there is no blanket run-twice).
 	serve func(sys *decomine.System, w *Workload) (int64, error)
+	// batch replaces run: the workload compares the shared batch path
+	// against the NoShare serial path on the same System and fills the
+	// Workload's Batch* fields itself (cold, warm, and serial rounds with
+	// bit-identical-count cross-checks replace the blanket run-twice).
+	batch func(sys *decomine.System, w *Workload) (int64, error)
 }
 
 func gnp(n int, p float64, seed int64) func(Config) *decomine.Graph {
@@ -196,6 +220,7 @@ func suite(cfg Config) []workloadSpec {
 			{name: "motif4-slab-rmat", graph: slabRMAT(11, 8, 16, cfg.Seed+6), run: motifs(4), mmapCompare: true},
 			{name: "motif6-aux-community", graph: community(768, 6, 16, cfg.Seed+7), run: pseudoCliques(6, 1), auxCompare: true},
 			{name: "serve-cache-rmat", graph: rmat(9, 6, cfg.Seed+8), serve: serveScript},
+			{name: "motif6-batch-community", graph: community(64, 2, 6, cfg.Seed+7), batch: batchMotifCensus(6)},
 		}
 	}
 	return []workloadSpec{
@@ -208,6 +233,7 @@ func suite(cfg Config) []workloadSpec {
 		{name: "motif4-slab-rmat", graph: slabRMAT(13, 8, 16, cfg.Seed+6), run: motifs(4), mmapCompare: true},
 		{name: "motif6-aux-community", graph: community(1024, 6, 16, cfg.Seed+7), run: pseudoCliques(6, 1), auxCompare: true},
 		{name: "serve-cache-rmat", graph: rmat(11, 8, cfg.Seed+8), serve: serveScript},
+		{name: "motif6-batch-community", graph: community(96, 2, 7, cfg.Seed+7), batch: batchMotifCensus(6)},
 	}
 }
 
@@ -331,6 +357,11 @@ func runWorkload(cfg Config, spec workloadSpec) (Workload, error) {
 	var err error
 	if spec.serve != nil {
 		count, err = spec.serve(sys, &w)
+		if err != nil {
+			return Workload{}, err
+		}
+	} else if spec.batch != nil {
+		count, err = spec.batch(sys, &w)
 		if err != nil {
 			return Workload{}, err
 		}

@@ -12,13 +12,13 @@ func tinyReport() *Report {
 		Workloads: []Workload{
 			{
 				Name: "a", Count: 100, Instructions: 1000,
-				ExecNS: 50_000_000, Throughput: 2e7,
+				ExecNS: 500_000_000, Throughput: 2e7,
 				Balance: Balance{Max: 300, Mean: 250, MaxOverMean: 1.2},
 				Cache:   Cache{Hits: 3, Misses: 3, HitRate: 0.5},
 			},
 			{
 				Name: "b", Count: 7, Instructions: 400,
-				ExecNS: 40_000_000, Throughput: 1e7,
+				ExecNS: 400_000_000, Throughput: 1e7,
 				Balance: Balance{Max: 100, Mean: 100, MaxOverMean: 1.0},
 				Cache:   Cache{Hits: 1, Misses: 1, HitRate: 0.5},
 			},
@@ -81,7 +81,7 @@ func TestCompareRelativeRegressionFails(t *testing.T) {
 
 func TestCompareShortExecNeverFailsOnThroughput(t *testing.T) {
 	base := tinyReport()
-	base.Workloads[0].ExecNS = 2_000_000 // under the 10ms floor
+	base.Workloads[0].ExecNS = 2_000_000 // under the noise floor
 	cur := tinyReport()
 	cur.Workloads[0].ExecNS = 2_000_000
 	cur.Workloads[0].Throughput /= 10
@@ -162,6 +162,66 @@ func TestRunWorkload(t *testing.T) {
 	}
 	if w.CompileNS <= 0 || w.ExecNS <= 0 {
 		t.Fatalf("compile=%d exec=%d ns, want > 0", w.CompileNS, w.ExecNS)
+	}
+}
+
+func TestCompareBatchDrift(t *testing.T) {
+	base := tinyReport()
+	base.Workloads[0].BatchInstr = 1000
+	base.Workloads[0].SerialInstr = 5000
+	base.Workloads[0].BatchSharedHits = 40
+	base.Workloads[0].BatchSubqueries = 12
+	cur := tinyReport()
+	cur.Workloads[0].BatchInstr = 1000
+	cur.Workloads[0].SerialInstr = 5000
+	cur.Workloads[0].BatchSharedHits = 40
+	cur.Workloads[0].BatchSubqueries = 12
+	if g := Compare(cur, base, 0.25); !g.OK() {
+		t.Fatalf("identical batch counters should gate clean: %v", g.Failures)
+	}
+	cur.Workloads[0].BatchSharedHits = 39
+	if g := Compare(cur, base, 0.25); g.OK() {
+		t.Fatal("shared-hit drift must fail")
+	}
+	cur.Workloads[0].BatchSharedHits = 40
+	cur.Workloads[0].BatchInstr = 999
+	if g := Compare(cur, base, 0.25); g.OK() {
+		t.Fatal("batch-instruction drift must fail")
+	}
+	// Baselines predating the batch workload are tolerated.
+	base.Workloads[0].BatchInstr = 0
+	if g := Compare(cur, base, 0.25); !g.OK() {
+		t.Fatalf("zero baseline batch counters must be tolerated: %v", g.Failures)
+	}
+}
+
+// TestRunBatchWorkload runs a small batched census end to end: the
+// shared batch must beat the serial path on instructions, report shared
+// hits, and populate the gated fields.
+func TestRunBatchWorkload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("batch workload runs a full census three times")
+	}
+	cfg := Config{Short: true, Threads: 2, Seed: 42}
+	w, err := runWorkload(cfg, workloadSpec{
+		name:  "batch-smoke",
+		graph: community(48, 2, 5, 7),
+		batch: batchMotifCensus(5),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Count <= 0 {
+		t.Fatalf("count = %d, want > 0", w.Count)
+	}
+	if w.BatchInstr <= 0 || w.SerialInstr <= w.BatchInstr {
+		t.Fatalf("batch=%d serial=%d instructions, want 0 < batch < serial", w.BatchInstr, w.SerialInstr)
+	}
+	if w.BatchSharedHits <= 0 || w.BatchSubqueries <= 0 {
+		t.Fatalf("shared_hits=%d subqueries=%d, want > 0", w.BatchSharedHits, w.BatchSubqueries)
+	}
+	if w.BatchSpeedup <= 0 {
+		t.Fatalf("batch speedup = %v, want > 0", w.BatchSpeedup)
 	}
 }
 

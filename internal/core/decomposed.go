@@ -26,6 +26,18 @@ type DecompSpec struct {
 	// PLRDepth applies pattern-aware loop rewriting to the first
 	// PLRDepth cutting-set loops (0 disables; §7.2).
 	PLRDepth int
+	// SkipShrinkCodes suppresses the enumeration loops of every
+	// shrinkage whose quotient pattern's canonical code is in the set.
+	// Summed over all cutting-set embeddings, a shrinkage's enumeration
+	// total equals inj(q) = copies(q)·|Aut(q)| — a standalone
+	// edge-induced pattern count — so a host that already knows
+	// copies(q) can subtract it without enumerating (the batch layer's
+	// cross-query sharing). Skipped quotients are recorded in
+	// Plan.External and the final count must be recovered through
+	// Plan.ExtractCount. Only honored for unconstrained ModeCount specs:
+	// under label constraints or emission the per-cut totals are not
+	// standalone counts, so the set is ignored there.
+	SkipShrinkCodes map[pattern.Code]bool
 	// Constraints are group label constraints on whole-pattern vertices
 	// (§7.5). GenerateDecomposed rejects specs whose constraints do not
 	// fit within cut ∪ one component.
@@ -96,6 +108,36 @@ func GenerateDecomposed(spec DecompSpec) (*Plan, error) {
 	g.all()
 	cnt := b.NewGlobal()
 	cutPat := d.CutPattern() // vertices 0..nCut-1 in D.CutVerts order
+
+	// Shrinkage subcount accumulators (unconstrained ModeCount only):
+	// shrinkGlob[j] receives shrinkage j's enumeration total alongside
+	// the subtraction from cnt, exposing inj(q_j) to the host for
+	// harvesting into a subcount cache. Shrinkages whose quotient code
+	// the spec marks skippable get no loops at all; the host subtracts
+	// copies(q)·|Aut(q)| instead (Plan.ExtractCount). Globals are
+	// allocated up front: genBody may run several times under PLR replay
+	// and every copy must accumulate into the same registers.
+	trackShrink := spec.Mode == ModeCount && len(spec.Constraints) == 0
+	shrinkGlob := make([]int, len(d.Shrinkages))
+	shrinkSkip := make([]bool, len(d.Shrinkages))
+	var shrink []ShrinkCount
+	var external []ExternalNeed
+	for j := range d.Shrinkages {
+		shrinkGlob[j] = -1
+	}
+	if trackShrink {
+		for j, s := range d.Shrinkages {
+			code := s.Pat.Canonical()
+			aut := s.Pat.AutomorphismCount()
+			if spec.SkipShrinkCodes != nil && spec.SkipShrinkCodes[code] {
+				shrinkSkip[j] = true
+				external = append(external, ExternalNeed{Pat: s.Pat, Code: code, Aut: aut})
+				continue
+			}
+			shrinkGlob[j] = b.NewGlobal()
+			shrink = append(shrink, ShrinkCount{Global: shrinkGlob[j], Pat: s.Pat, Code: code, Aut: aut})
+		}
+	}
 
 	// wholeOfCut maps cut position -> whole-pattern vertex; cutIdx the
 	// inverse (-1 for non-cut vertices).
@@ -320,9 +362,26 @@ func GenerateDecomposed(spec DecompSpec) (*Plan, error) {
 				return s.Blocks[pv-nCut]
 			}
 			if spec.Mode == ModeCount {
+				if shrinkSkip[j] {
+					// Externalized: the host subtracts this quotient's
+					// standalone count; no loops are generated.
+					continue
+				}
+				sg := shrinkGlob[j]
 				genExtension(s.Pat, spec.ShrinkOrders[j], shrinkWholeOf,
-					func([]int) { one := b.Const(1); b.GlobalAdd(cnt, one, -1) },
-					func(x int) { b.GlobalAdd(cnt, x, -1) })
+					func([]int) {
+						one := b.Const(1)
+						b.GlobalAdd(cnt, one, -1)
+						if sg >= 0 {
+							b.GlobalAdd(sg, one, 1)
+						}
+					},
+					func(x int) {
+						b.GlobalAdd(cnt, x, -1)
+						if sg >= 0 {
+							b.GlobalAdd(sg, x, 1)
+						}
+					})
 				continue
 			}
 			genExtension(s.Pat, spec.ShrinkOrders[j], shrinkWholeOf, func(bind []int) {
@@ -375,13 +434,19 @@ func GenerateDecomposed(spec DecompSpec) (*Plan, error) {
 	if len(spec.Constraints) > 0 {
 		divisor = ConstraintAutomorphismCount(d.P, spec.Constraints)
 	}
+	ext := ""
+	if len(external) > 0 {
+		ext = fmt.Sprintf(" ext=%d", len(external))
+	}
 	return &Plan{
 		Prog:          prog,
 		CountGlobal:   cnt,
 		Divisor:       divisor,
 		Kind:          "decomposed",
 		Decomposition: d,
-		Desc: fmt.Sprintf("decomposed cut=%v cutOrder=%v K=%d shrinkages=%d%s",
-			d.CutVerts, spec.CutOrder, d.K(), len(d.Shrinkages), plr),
+		Shrink:        shrink,
+		External:      external,
+		Desc: fmt.Sprintf("decomposed cut=%v cutOrder=%v K=%d shrinkages=%d%s%s",
+			d.CutVerts, spec.CutOrder, d.K(), len(d.Shrinkages), plr, ext),
 	}, nil
 }

@@ -27,6 +27,29 @@ const (
 	ModeEmit
 )
 
+// ShrinkCount locates one enumerated shrinkage quotient's injective
+// count in a decomposed plan's globals: after a run, Globals[Global]
+// holds inj(Pat) — the number of injective edge-preserving maps of the
+// quotient into the input — so Globals[Global]/Aut is the quotient's
+// standalone edge-induced copy count, harvestable into a subcount cache
+// for free from any decomposed run (unconstrained ModeCount plans only).
+type ShrinkCount struct {
+	Global int
+	Pat    *pattern.Pattern
+	Code   pattern.Code
+	Aut    int64
+}
+
+// ExternalNeed is a shrinkage whose enumeration loops were skipped
+// (DecompSpec.SkipShrinkCodes): the plan's raw count omits its
+// subtraction, and ExtractCount recovers it from a host-supplied
+// standalone copy count as copies(Pat)·Aut.
+type ExternalNeed struct {
+	Pat  *pattern.Pattern
+	Code pattern.Code
+	Aut  int64
+}
+
 // Plan is a compiled, executable algorithm.
 type Plan struct {
 	Prog *ast.Program
@@ -44,6 +67,15 @@ type Plan struct {
 	// interpret emitted partial embeddings (subpattern shapes and the
 	// subpattern-to-whole vertex mappings).
 	Decomposition *decomp.Decomposition
+	// Shrink exposes the plan's enumerated shrinkage-quotient
+	// accumulators (decomposed unconstrained count plans only; see
+	// ShrinkCount). The raw count in CountGlobal already includes their
+	// subtraction — these registers are a free by-product for harvesting.
+	Shrink []ShrinkCount
+	// External lists shrinkages whose loops were skipped; non-empty only
+	// for plans compiled with DecompSpec.SkipShrinkCodes. Such plans
+	// must be extracted through ExtractCount with a resolver.
+	External []ExternalNeed
 
 	// LowerOpts configures the lowering pipeline (auxiliary-graph
 	// materialization and its decision callback). Must be set before the
@@ -62,6 +94,48 @@ type Plan struct {
 func (p *Plan) Lowered() *ast.Lowered {
 	p.lowerOnce.Do(func() { p.lowered = ast.LowerWith(p.Prog, p.LowerOpts) })
 	return p.lowered
+}
+
+// ExtractCount converts a run's raw globals into the plan's embedding
+// count. For ordinary plans this is Globals[CountGlobal]/Divisor; for
+// plans with externalized shrinkages (non-empty External) the resolver
+// must supply each skipped quotient's standalone edge-induced copy
+// count, whose inj total (copies·Aut) is subtracted before dividing —
+// exactly the subtraction the skipped loops would have performed.
+func (p *Plan) ExtractCount(globals []int64, resolve func(pattern.Code) (int64, bool)) (int64, error) {
+	raw := globals[p.CountGlobal]
+	for _, ext := range p.External {
+		if resolve == nil {
+			return 0, fmt.Errorf("core: plan has externalized shrinkage %s but no resolver", ext.Pat)
+		}
+		copies, ok := resolve(ext.Code)
+		if !ok {
+			return 0, fmt.Errorf("core: no external count for shrinkage %s", ext.Pat)
+		}
+		raw -= copies * ext.Aut
+	}
+	return raw / p.Divisor, nil
+}
+
+// SubCounts harvests the standalone edge-induced copy counts of every
+// shrinkage quotient the plan enumerated, keyed by canonical code (a
+// free by-product of any decomposed unconstrained count run; empty for
+// direct plans). Duplicate quotients (same code via different cut
+// embedding structure) are collapsed — their accumulators necessarily
+// agree, and the defensive divisibility check guards the invariant.
+func (p *Plan) SubCounts(globals []int64) map[pattern.Code]int64 {
+	if len(p.Shrink) == 0 {
+		return nil
+	}
+	out := make(map[pattern.Code]int64, len(p.Shrink))
+	for _, sh := range p.Shrink {
+		inj := globals[sh.Global]
+		if sh.Aut == 0 || inj%sh.Aut != 0 {
+			continue // defensive: inj(pat) is always a multiple of |Aut|
+		}
+		out[sh.Code] = inj / sh.Aut
+	}
+	return out
 }
 
 // genCtx carries shared state across the generation of one program.

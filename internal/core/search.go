@@ -54,6 +54,12 @@ type SearchOptions struct {
 	// label constraints (§7.5). Decomposition candidates that cannot
 	// resolve the constraints are skipped automatically.
 	Constraints []LabelConstraint
+	// SkipShrinkCodes forwards to DecompSpec.SkipShrinkCodes: shrinkage
+	// quotients whose canonical code is in the set are externalized
+	// (their loops are skipped and their contribution must be supplied
+	// to Plan.ExtractCount by the host). Used by the batch layer to
+	// share standalone subquery counts across queries.
+	SkipShrinkCodes map[pattern.Code]bool
 	// Stats, when non-nil, receives the phase split of this search
 	// (candidate enumeration vs cost-model ranking) for query tracing.
 	Stats *SearchStats
@@ -303,12 +309,13 @@ func decompSpecs(d *decomp.Decomposition, opts SearchOptions, maxOrders int) []D
 		for _, plr := range plrDepths {
 			for variant := 0; variant < 2; variant++ {
 				spec := DecompSpec{
-					D:            d,
-					CutOrder:     co,
-					PLRDepth:     plr,
-					Mode:         opts.Mode,
-					Constraints:  opts.Constraints,
-					ShrinkOrders: shrinkOrders,
+					D:               d,
+					CutOrder:        co,
+					PLRDepth:        plr,
+					Mode:            opts.Mode,
+					Constraints:     opts.Constraints,
+					ShrinkOrders:    shrinkOrders,
+					SkipShrinkCodes: opts.SkipShrinkCodes,
 				}
 				ok := true
 				for i := range d.Subpatterns {

@@ -64,16 +64,25 @@ func RewriteQuery(p *pattern.Pattern, induced bool) (*Rewrite, bool, error) {
 		return nil, false, fmt.Errorf("decomp: no rewrite for vertex-induced counts of disconnected pattern %s", p)
 	case induced:
 		plan := pattern.ConversionPlan(p)
+		needs := dedupPatterns(plan)
+		// Precompute the inclusion-exclusion solve and the need codes once:
+		// recipes are cached and re-evaluated per epoch, and the supergraph
+		// enumeration is the expensive part for large patterns.
+		comp := pattern.NewViComposer(p)
+		needCodes := make([]pattern.Code, len(needs))
+		for i, q := range needs {
+			needCodes[i] = q.Canonical()
+		}
 		return &Rewrite{
-			Needs: dedupPatterns(plan),
+			Needs: needs,
 			Desc:  fmt.Sprintf("vertex-induced from %d edge-induced supergraph-class counts", len(plan)),
 			eval: func(counts map[pattern.Code]int64) (int64, error) {
-				for _, q := range plan {
-					if _, ok := counts[q.Canonical()]; !ok {
-						return 0, fmt.Errorf("decomp: rewrite is missing the count of %s", q)
+				for i, c := range needCodes {
+					if _, ok := counts[c]; !ok {
+						return 0, fmt.Errorf("decomp: rewrite is missing the count of %s", needs[i])
 					}
 				}
-				return pattern.VertexInducedFromEdgeInduced(p, counts), nil
+				return comp.Eval(counts), nil
 			},
 		}, true, nil
 	case p.Connected():

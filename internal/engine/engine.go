@@ -30,6 +30,38 @@ var (
 	obsWorkerSplit = obs.Default.Histogram("engine.worker.splits")
 )
 
+// execSpan tracks the union of wall-clock intervals during which at
+// least one Run is executing. Summing every run's own Elapsed would
+// double-count overlapped time once runs execute concurrently (the
+// batch layer schedules independent subqueries on one shared pool), so
+// "engine.exec_ns" advances only while the active-run count is nonzero:
+// the first run in stamps the span start, the last run out adds the
+// span's length. For strictly sequential runs this is identical to
+// summing Elapsed.
+var execSpan struct {
+	mu     sync.Mutex
+	active int
+	start  time.Time
+}
+
+func execSpanEnter() {
+	execSpan.mu.Lock()
+	if execSpan.active == 0 {
+		execSpan.start = time.Now()
+	}
+	execSpan.active++
+	execSpan.mu.Unlock()
+}
+
+func execSpanExit() {
+	execSpan.mu.Lock()
+	execSpan.active--
+	if execSpan.active == 0 {
+		obsExecNS.Add(time.Since(execSpan.start).Nanoseconds())
+	}
+	execSpan.mu.Unlock()
+}
+
 // obsKernels[k] accumulates kernel-path dispatch counts
 // ("engine.kernel.<name>") across runs, one Add per run.
 var obsKernels = func() [NumKernels]*obs.Counter {
@@ -293,6 +325,8 @@ func Run(g *graph.Graph, prog *ast.Program, opts Options) (*Result, error) {
 	if len(opts.Pins) != prog.NumPinned {
 		return nil, fmt.Errorf("engine: %d pins for %d pinned vars", len(opts.Pins), prog.NumPinned)
 	}
+	execSpanEnter()
+	defer execSpanExit()
 	threads := opts.Threads
 	if threads <= 0 {
 		threads = runtime.GOMAXPROCS(0)
@@ -543,7 +577,6 @@ func Run(g *graph.Graph, prog *ast.Program, opts Options) (*Result, error) {
 	}
 
 	obsRuns.Inc()
-	obsExecNS.Add(res.Elapsed.Nanoseconds())
 	obsSteals.Add(res.Steals)
 	obsSplits.Add(res.Splits)
 	obsSlabHits.Add(res.SlabHits)

@@ -36,33 +36,72 @@ func SupergraphClasses(p *Pattern) []*Pattern {
 // for cnt_vi(p), given edge-induced counts for p and every supergraph
 // class of p. ei maps canonical codes to edge-induced embedding counts;
 // the solve proceeds from the densest pattern (the clique, where
-// cnt_vi = cnt_ei) downward.
+// cnt_vi = cnt_ei) downward. One-shot convenience over NewViComposer —
+// callers composing the same pattern repeatedly (the batch layer, the
+// serving cache) should build the composer once.
 func VertexInducedFromEdgeInduced(p *Pattern, ei map[Code]int64) int64 {
-	supers := SupergraphClasses(p)
-	// Solve vi for every supergraph class, densest first.
-	vi := map[Code]int64{}
-	all := append(append([]*Pattern(nil), supers...), p)
+	return NewViComposer(p).Eval(ei)
+}
+
+// ViComposer is the precomputed form of the vi-from-ei solve: the class
+// codes, the densest-first order, and the pairwise spanning-subgraph
+// multiplicities are derived once at construction (the expensive part —
+// supergraph enumeration and canonicalization), leaving Eval a cheap
+// integer triangular solve. Safe for concurrent Eval calls.
+type ViComposer struct {
+	// codes holds the canonical code of every class on p's vertex set
+	// containing p, densest first (p's own class last).
+	codes []Code
+	// coeff[i] lists the (j, SpanningSubCount(all[i], all[j])) pairs for
+	// every strictly denser class j, nonzero entries only.
+	coeff [][]viCoeff
+}
+
+type viCoeff struct {
+	j int
+	c int64
+}
+
+// NewViComposer precomputes the inclusion-exclusion composition for p.
+func NewViComposer(p *Pattern) *ViComposer {
+	all := append(append([]*Pattern(nil), SupergraphClasses(p)...), p)
 	// densest-first order
 	for i := 1; i < len(all); i++ {
 		for j := i; j > 0 && all[j-1].NumEdges() < all[j].NumEdges(); j-- {
 			all[j-1], all[j] = all[j], all[j-1]
 		}
 	}
-	for _, q := range all {
-		code := q.Canonical()
-		v := ei[code]
-		for _, r := range all {
+	vc := &ViComposer{
+		codes: make([]Code, len(all)),
+		coeff: make([][]viCoeff, len(all)),
+	}
+	for i, q := range all {
+		vc.codes[i] = q.Canonical()
+		for j, r := range all {
 			if r.NumEdges() <= q.NumEdges() {
 				continue
 			}
-			c := SpanningSubCount(q, r)
-			if c != 0 {
-				v -= c * vi[r.Canonical()]
+			if c := SpanningSubCount(q, r); c != 0 {
+				vc.coeff[i] = append(vc.coeff[i], viCoeff{j: j, c: c})
 			}
 		}
-		vi[code] = v
 	}
-	return vi[p.Canonical()]
+	return vc
+}
+
+// Eval solves for the vertex-induced count of the composer's pattern
+// from edge-induced class counts keyed by canonical code (absent codes
+// read as zero, matching the historical map semantics).
+func (vc *ViComposer) Eval(ei map[Code]int64) int64 {
+	vi := make([]int64, len(vc.codes))
+	for i := range vc.codes {
+		v := ei[vc.codes[i]]
+		for _, t := range vc.coeff[i] {
+			v -= t.c * vi[t.j]
+		}
+		vi[i] = v
+	}
+	return vi[len(vi)-1]
 }
 
 // ConversionPlan lists the edge-induced pattern classes whose counts are

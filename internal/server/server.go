@@ -128,6 +128,7 @@ func (s *Server) entry(name string) (*graphEntry, error) {
 // Handler returns the API mux:
 //
 //	POST /query                  count a pattern (see queryRequest)
+//	POST /queries/batch          count many patterns as one shared batch
 //	GET  /graphs                 list loaded graphs with epochs
 //	POST /graphs/{name}/epoch    bump a graph's cache epoch
 //	GET  /queries                in-flight queries (alias of /debug/queries)
@@ -137,6 +138,7 @@ func (s *Server) entry(name string) (*graphEntry, error) {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /query", s.handleQuery)
+	mux.HandleFunc("POST /queries/batch", s.handleBatch)
 	mux.HandleFunc("GET /graphs", s.handleGraphs)
 	mux.HandleFunc("POST /graphs/{name}/epoch", s.handleEpochBump)
 	mux.HandleFunc("GET /queries", func(w http.ResponseWriter, r *http.Request) {

@@ -10,10 +10,13 @@ import (
 )
 
 // MotifCount pairs a motif pattern with its vertex-induced embedding
-// count.
+// count and the per-class query stats of the class's own edge-induced
+// subquery (zero-valued when that subquery was served from a cache
+// rather than executed in this batch).
 type MotifCount struct {
 	Pattern *Pattern
 	Count   int64
+	Stats   QueryStats
 }
 
 // MotifCounts implements k-motif counting (k-MC): the vertex-induced
@@ -21,30 +24,42 @@ type MotifCount struct {
 // the paper (§2.2), the system counts edge-induced embeddings of all
 // size-k pattern classes — where decomposition applies — and recovers
 // the vertex-induced counts through the inclusion-exclusion conversion,
-// rather than enumerating each vertex-induced motif directly.
+// rather than enumerating each vertex-induced motif directly. The
+// census runs through the batch layer (CountPatterns): each distinct
+// class executes exactly once, shared shrinkage quotients are counted
+// standalone instead of per-plan, and the subqueries run concurrently
+// on the System's pool. Each subquery is still a full query — visible
+// at /debug/queries and eligible for the slow-query log.
 func (s *System) MotifCounts(k int) ([]MotifCount, error) {
+	counts, _, err := s.MotifCountsStats(k)
+	return counts, err
+}
+
+// MotifCountsStats is MotifCounts plus the batch-level stats record:
+// total instructions, shared-subquery hits, and the compile/exec time
+// split aggregated across the census.
+func (s *System) MotifCountsStats(k int) ([]MotifCount, *BatchStats, error) {
 	if k < 1 || k > 7 {
-		return nil, fmt.Errorf("decomine: motif counting supports k in 1..7, got %d", k)
+		return nil, nil, fmt.Errorf("decomine: motif counting supports k in 1..7, got %d", k)
 	}
 	pats := pattern.ConnectedPatterns(k)
-	ei := make(map[pattern.Code]int64, len(pats))
-	for _, p := range pats {
-		// Each per-class count is a full query: it shares CountPattern's
-		// plan cache and engine path, and additionally shows up at
-		// /debug/queries while running and in the slow-query log when it
-		// crosses the threshold.
-		r, err := s.countPattern(&Pattern{p}, nil, nil, QueryOpts{})
-		if err != nil {
-			return nil, err
+	members := make([]*Pattern, len(pats))
+	for i, p := range pats {
+		members[i] = &Pattern{p}
+	}
+	br, err := s.CountPatterns(members, BatchOpts{Induced: true})
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make([]MotifCount, len(pats))
+	for i, p := range pats {
+		out[i] = MotifCount{
+			Pattern: &Pattern{p.Clone()},
+			Count:   br.Results[i].Count,
+			Stats:   br.Results[i].Stats,
 		}
-		ei[p.Canonical()] = r.Count
 	}
-	out := make([]MotifCount, 0, len(pats))
-	for _, p := range pats {
-		vi := pattern.VertexInducedFromEdgeInduced(p, ei)
-		out = append(out, MotifCount{Pattern: &Pattern{p.Clone()}, Count: vi})
-	}
-	return out, nil
+	return out, &br.Stats, nil
 }
 
 // TotalMotifCount sums the vertex-induced counts of all k-motifs (a

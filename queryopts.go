@@ -32,6 +32,23 @@ type QueryOpts struct {
 	// queries enforce one joint grant. Exhaustion returns
 	// ErrBudgetExceeded.
 	Fuel *atomic.Int64
+
+	// The remaining fields are the batch layer's private plumbing
+	// (see batch.go); they are not settable from outside the module.
+
+	// planFlavor, when non-empty, keys the plan cache under a custom
+	// flavor with planTweak applied to the search (the batch layer's
+	// skip-flavor plans with externalized shrinkages). Unconstrained
+	// queries only.
+	planFlavor string
+	planTweak  func(*core.SearchOptions)
+	// resolve supplies standalone counts for the plan's externalized
+	// shrinkages at extraction time.
+	resolve func(pattern.Code) (int64, bool)
+	// harvest, when non-nil, receives the executed plan and its raw
+	// globals after a successful run, letting the batch layer collect
+	// shrinkage-quotient subcounts as a by-product.
+	harvest func(plan *core.Plan, globals []int64)
 }
 
 // fuelCounter returns the shared budget counter for this query, or nil
@@ -53,6 +70,9 @@ func (o *QueryOpts) fuelCounter() *atomic.Int64 {
 // by their constraint flavor, like CountWithConstraints).
 func (s *System) planFor(p *Pattern, o QueryOpts) (*planEntry, bool, error) {
 	if len(o.Constraints) == 0 {
+		if o.planFlavor != "" {
+			return s.planFlavor(p.p, core.ModeCount, false, o.planFlavor, o.planTweak)
+		}
 		return s.planFull(p.p, core.ModeCount, false)
 	}
 	ccons := toCoreConstraints(o.Constraints)

@@ -127,7 +127,7 @@ func (s *System) countPattern(p *Pattern, cancel *atomic.Bool, tracker *engine.P
 		tr.Span(obs.PhaseEnumerate, e.stats.EnumerateTime, e.stats.Candidates)
 		tr.Span(obs.PhaseRank, e.stats.RankTime, e.stats.Candidates)
 	}
-	count, res, lowerDur, err := s.runStats(e.plan, nil, cancel, tracker, fuel)
+	count, res, lowerDur, err := s.runStats(e.plan, nil, cancel, tracker, fuel, qo.resolve)
 	if err != nil {
 		tr.Finish(err)
 		return nil, err
@@ -152,6 +152,9 @@ func (s *System) countPattern(p *Pattern, cancel *atomic.Bool, tracker *engine.P
 	st.Exec = execStatsFromResult(res)
 	st.WorkPerThread = append([]int64(nil), res.WorkPerThread...)
 	out.Count = count
+	if qo.harvest != nil {
+		qo.harvest(e.plan, res.Globals)
+	}
 	tr.Kernels = st.Exec.Kernels
 	tr.Finish(nil)
 	s.noteSlowQuery(tr.ID, name, begin, time.Since(begin), e, st)
