@@ -83,6 +83,11 @@ type BatchOpts struct {
 	// returns a release callback (invoked when the batch finishes) or
 	// an error that aborts the batch — the server's admission hook.
 	Admit func(price float64) (release func(), err error)
+	// Span, when non-nil, is the request trace span the batch runs
+	// under: the batch records cache_lookup, plan, and per-dependency-
+	// wave child spans, with each subquery's count span nested under its
+	// wave (see QueryOpts.Span).
+	Span *TraceSpan
 }
 
 // BatchStats summarizes one CountPatterns run.
@@ -252,6 +257,7 @@ func (s *System) CountPatterns(ps []*Pattern, o BatchOpts) (*BatchResult, error)
 	var cacheHits int64
 	needCodes := sortedCodes(needPat)
 	var liveNeeds []pattern.Code
+	cacheSpan := o.Span.StartChild("cache_lookup")
 	for _, c := range needCodes {
 		if v, ok := lookup(c); ok {
 			table[c] = v
@@ -260,9 +266,13 @@ func (s *System) CountPatterns(ps []*Pattern, o BatchOpts) (*BatchResult, error)
 		}
 		liveNeeds = append(liveNeeds, c)
 	}
+	cacheSpan.SetAttr("needs", int64(len(needCodes)))
+	cacheSpan.SetAttr("hits", cacheHits)
+	cacheSpan.End()
 
 	// Plan every live need (std flavor) and tally shrinkage-quotient
 	// demand across the batch.
+	planSpan := o.Span.StartChild("plan")
 	var compileTime time.Duration
 	entry := map[pattern.Code]*planEntry{}
 	refs := map[pattern.Code]int64{}
@@ -270,6 +280,7 @@ func (s *System) CountPatterns(ps []*Pattern, o BatchOpts) (*BatchResult, error)
 	for _, c := range liveNeeds {
 		e, hit, err := s.planFull(needPat[c], core.ModeCount, false)
 		if err != nil {
+			planSpan.EndErr(err)
 			return nil, err
 		}
 		if !hit {
@@ -321,6 +332,7 @@ func (s *System) CountPatterns(ps []*Pattern, o BatchOpts) (*BatchResult, error)
 			}
 			se, hit, err := s.planFlavor(needPat[c], core.ModeCount, false, flavor, tweak)
 			if err != nil {
+				planSpan.EndErr(err)
 				return nil, err
 			}
 			if !hit {
@@ -352,6 +364,7 @@ func (s *System) CountPatterns(ps []*Pattern, o BatchOpts) (*BatchResult, error)
 		}
 		e, hit, err := s.planFull(quotPat[c], core.ModeCount, false)
 		if err != nil {
+			planSpan.EndErr(err)
 			return nil, err
 		}
 		if !hit {
@@ -360,6 +373,9 @@ func (s *System) CountPatterns(ps []*Pattern, o BatchOpts) (*BatchResult, error)
 		entry[c] = e
 		execCodes = append(execCodes, c)
 	}
+	planSpan.SetAttr("subqueries", int64(len(execCodes)))
+	planSpan.SetAttr("externalized", int64(len(ext)))
+	planSpan.End()
 
 	// Price the residual work and admit the whole batch at once.
 	var price float64
@@ -406,7 +422,9 @@ func (s *System) CountPatterns(ps []*Pattern, o BatchOpts) (*BatchResult, error)
 	}
 	par := s.batchParallelism(o.Parallelism)
 	execStart := time.Now()
-	for _, wave := range batchWaves(execCodes, allPat) {
+	for wi, wave := range batchWaves(execCodes, allPat) {
+		waveSpan := o.Span.StartChild(fmt.Sprintf("wave[%d]", wi))
+		waveSpan.SetAttr("subqueries", int64(len(wave)))
 		sem := make(chan struct{}, par)
 		var wg sync.WaitGroup
 		for _, c := range wave {
@@ -419,7 +437,7 @@ func (s *System) CountPatterns(ps []*Pattern, o BatchOpts) (*BatchResult, error)
 				if cancel.Load() {
 					return
 				}
-				qo := QueryOpts{Fuel: fuel, harvest: harvest}
+				qo := QueryOpts{Fuel: fuel, harvest: harvest, Span: waveSpan}
 				if skip[c] {
 					qo.planFlavor = flavor
 					qo.planTweak = tweak
@@ -444,8 +462,10 @@ func (s *System) CountPatterns(ps []*Pattern, o BatchOpts) (*BatchResult, error)
 		}
 		wg.Wait()
 		if firstErr != nil {
+			waveSpan.EndErr(firstErr)
 			return nil, firstErr
 		}
+		waveSpan.End()
 	}
 	execTime := time.Since(execStart)
 
@@ -535,7 +555,7 @@ func (s *System) countPatternsSerial(ps []*Pattern, members []*batchMember, o Ba
 		counts := map[pattern.Code]int64{}
 		var own QueryStats
 		for j, q := range m.needPats {
-			r, err := s.countPattern(RawPattern(q), nil, nil, QueryOpts{Fuel: fuel})
+			r, err := s.countPattern(RawPattern(q), nil, nil, QueryOpts{Fuel: fuel, Span: o.Span})
 			if err != nil {
 				return nil, err
 			}

@@ -34,6 +34,7 @@ func main() {
 	overhead := flag.Bool("profiler-overhead", false, "run only the profiler-overhead smoke check (warns above -overhead-warn, never fails)")
 	overheadWarn := flag.Float64("overhead-warn", 0.05, "warn when profiler overhead exceeds this fraction")
 	calibration := flag.Bool("calibration-check", false, "run only the profile-guided calibration check (fails when calibrated ranking picks a worse plan)")
+	traceOverhead := flag.Bool("trace-overhead", false, "run only the request-tracing overhead smoke check (warns above -overhead-warn, never fails)")
 	slowQuery := flag.Duration("slow-query", 0, "record suite queries slower than this in the slow-query log (0 = off)")
 	slowQueryLog := flag.String("slow-query-log", "", "write the slow-query log as JSON to this path when non-empty")
 	flag.Parse()
@@ -42,8 +43,8 @@ func main() {
 		obs.SetSlowQueryThreshold(*slowQuery)
 	}
 
-	if *overhead || *calibration {
-		runChecks(bench.Config{Short: *short, Threads: *threads, Seed: *seed}, *overhead, *calibration, *overheadWarn)
+	if *overhead || *calibration || *traceOverhead {
+		runChecks(bench.Config{Short: *short, Threads: *threads, Seed: *seed}, *overhead, *calibration, *traceOverhead, *overheadWarn)
 		return
 	}
 
@@ -119,11 +120,11 @@ func main() {
 	fmt.Fprintf(os.Stderr, "bench gate: ok vs %s\n", *baseline)
 }
 
-// runChecks executes the profiler-overhead smoke check and/or the
-// calibration check. Overhead above the warn threshold only warns
+// runChecks executes the profiler-overhead, trace-overhead and/or
+// calibration checks. Overhead above the warn threshold only warns
 // (timing is host-dependent); a calibration that changes results or
 // picks a plan with more instructions than static ranking fails.
-func runChecks(cfg bench.Config, overhead, calibration bool, overheadWarn float64) {
+func runChecks(cfg bench.Config, overhead, calibration, traceOverhead bool, overheadWarn float64) {
 	if overhead {
 		rep, err := bench.ProfilerOverhead(cfg)
 		if err != nil {
@@ -132,6 +133,17 @@ func runChecks(cfg bench.Config, overhead, calibration bool, overheadWarn float6
 		fmt.Println(bench.FormatOverhead(rep))
 		if rep.OverheadFrac > overheadWarn {
 			fmt.Fprintf(os.Stderr, "WARN: profiler overhead %.1f%% exceeds %.1f%%\n",
+				rep.OverheadFrac*100, overheadWarn*100)
+		}
+	}
+	if traceOverhead {
+		rep, err := bench.TraceOverhead(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(bench.FormatTraceOverhead(rep))
+		if rep.OverheadFrac > overheadWarn {
+			fmt.Fprintf(os.Stderr, "WARN: trace overhead %.1f%% exceeds %.1f%%\n",
 				rep.OverheadFrac*100, overheadWarn*100)
 		}
 	}

@@ -13,6 +13,16 @@
 //	          [-dataset name ...] [-threads N] [-model kind]
 //	          [-max-concurrent N] [-queue N] [-max-cost F]
 //	          [-budget-instr N] [-cache-cap N] [-no-cache] [-no-rewrite]
+//	          [-trace-sample F] [-trace-cap N] [-slow-query D]
+//
+// Every served request runs under a trace span tree (W3C traceparent
+// honored and echoed): -trace-sample sets the keep probability for
+// unremarkable finished traces (error/slow/budget-exceeded traces are
+// always kept — tail-based sampling), -trace-cap bounds the retention
+// ring, and -slow-query sets the latency above which queries land in
+// the slow-query log and traces are force-retained. Retained trees are
+// served at /debug/trace/{id} and exported as OTLP/JSON at
+// /debug/traces/export.
 //
 // -graph takes name=path pairs; path is an edge-list text file or a
 // binary slab file (by .slab extension, served via mmap). -dataset
@@ -35,6 +45,7 @@ import (
 	"strings"
 
 	"decomine"
+	"decomine/internal/obs"
 	"decomine/internal/server"
 )
 
@@ -49,6 +60,9 @@ func main() {
 	cacheCap := flag.Int("cache-cap", 0, "result cache capacity in entries (0 = server default)")
 	noCache := flag.Bool("no-cache", false, "disable the result cache")
 	noRewrite := flag.Bool("no-rewrite", false, "disable the GEO rewrite layer")
+	traceSample := flag.Float64("trace-sample", 1, "keep probability for unremarkable request traces (error/slow traces are always kept)")
+	traceCap := flag.Int("trace-cap", 0, "retained request-trace ring capacity (0 = default 256)")
+	slowQuery := flag.Duration("slow-query", 0, "slow-query log latency threshold, e.g. 250ms (0 = off)")
 
 	type graphSpec struct{ name, path, dataset string }
 	var specs []graphSpec
@@ -65,6 +79,13 @@ func main() {
 		return nil
 	})
 	flag.Parse()
+	obs.SetTraceSampling(*traceSample)
+	if *traceCap > 0 {
+		obs.SetTraceTreeCap(*traceCap)
+	}
+	if *slowQuery > 0 {
+		obs.SetSlowQueryThreshold(*slowQuery)
+	}
 	if len(specs) == 0 {
 		fmt.Fprintln(os.Stderr, "decomined: no graphs; pass -graph name=path or -dataset name")
 		flag.Usage()

@@ -93,6 +93,99 @@ func ProfilerOverhead(cfg Config) (*OverheadReport, error) {
 	return rep, nil
 }
 
+// TraceOverheadReport compares a warm-cache workload with request
+// tracing off vs on (spans threaded through every query, retention
+// sampled out), the cost a production server pays for always-on span
+// creation.
+type TraceOverheadReport struct {
+	// BaseNS / TracedNS are engine execution time (engine.exec_ns
+	// registry deltas) for the untraced and traced rounds.
+	BaseNS   int64 `json:"base_ns"`
+	TracedNS int64 `json:"traced_ns"`
+	// OverheadFrac is (TracedNS − BaseNS) / BaseNS; host-dependent.
+	OverheadFrac float64 `json:"overhead_frac"`
+	Rounds       int     `json:"rounds"`
+}
+
+// TraceOverhead measures the span tracer's throughput cost on the hub
+// R-MAT motif workload: one warm-up round, then overheadRounds timed
+// rounds each without and with a request span threaded through every
+// query. Retention sampling is forced to 0 (the serving default for
+// busy deployments), so the measured cost is span creation and
+// attribute recording alone — the tail-retention decision still runs,
+// it just keeps nothing.
+func TraceOverhead(cfg Config) (*TraceOverheadReport, error) {
+	if cfg.Seed == 0 {
+		cfg.Seed = 42
+	}
+	g := hubRMAT(9, 8, 48, cfg.Seed+5)(cfg)
+	reg := obs.Default
+	pats := decomine.MotifPatterns(5)
+
+	prevSampling := obs.TraceSampling()
+	obs.SetTraceSampling(0)
+	defer obs.SetTraceSampling(prevSampling)
+
+	run := func(traced bool) (int64, int64, error) {
+		sys := decomine.NewSystem(g, decomine.Options{
+			Threads:       1,
+			Seed:          cfg.Seed,
+			MaxCandidates: 64,
+		})
+		defer sys.Close()
+		round := func() (int64, error) {
+			var span *decomine.TraceSpan
+			if traced {
+				span = decomine.StartTraceSpan("bench.trace-overhead")
+				span.SetTenant("bench")
+				defer span.End()
+			}
+			var total int64
+			for _, p := range pats {
+				r, err := sys.CountPatternOpts(p, decomine.QueryOpts{Span: span})
+				if err != nil {
+					return 0, err
+				}
+				total += r.Count
+			}
+			return total, nil
+		}
+		// Warm-up: compile and cache every motif plan, touch the graph.
+		count, err := round()
+		if err != nil {
+			return 0, 0, err
+		}
+		base := reg.Snapshot()
+		for r := 0; r < overheadRounds; r++ {
+			again, err := round()
+			if err != nil {
+				return 0, 0, err
+			}
+			if again != count {
+				return 0, 0, fmt.Errorf("warm re-run disagrees: %d vs %d", again, count)
+			}
+		}
+		return count, reg.CounterDelta(base, "engine.exec_ns"), nil
+	}
+
+	baseCount, baseNS, err := run(false)
+	if err != nil {
+		return nil, fmt.Errorf("bench: trace-overhead baseline: %w", err)
+	}
+	tracedCount, tracedNS, err := run(true)
+	if err != nil {
+		return nil, fmt.Errorf("bench: trace-overhead traced: %w", err)
+	}
+	if baseCount != tracedCount {
+		return nil, fmt.Errorf("bench: tracing changed the count: %d vs %d", tracedCount, baseCount)
+	}
+	rep := &TraceOverheadReport{BaseNS: baseNS, TracedNS: tracedNS, Rounds: overheadRounds}
+	if baseNS > 0 {
+		rep.OverheadFrac = float64(tracedNS-baseNS) / float64(baseNS)
+	}
+	return rep, nil
+}
+
 // CalibrationReport records the profile-guided calibration check: the
 // same workload ranked with static weights vs weights measured from a
 // profiled run of it.
@@ -179,6 +272,14 @@ func FormatOverhead(r *OverheadReport) string {
 		time.Duration(r.BaseNS).Round(time.Millisecond),
 		time.Duration(r.ProfiledNS).Round(time.Millisecond),
 		r.OverheadFrac*100, r.AttributionFrac*100, r.Rounds)
+}
+
+// FormatTraceOverhead renders the trace-overhead report for the CI log.
+func FormatTraceOverhead(r *TraceOverheadReport) string {
+	return fmt.Sprintf("trace overhead: base=%s traced=%s overhead=%.1f%% (%d rounds, sampling off)",
+		time.Duration(r.BaseNS).Round(time.Millisecond),
+		time.Duration(r.TracedNS).Round(time.Millisecond),
+		r.OverheadFrac*100, r.Rounds)
 }
 
 // FormatCalibration renders the calibration report for the CI log.

@@ -1,0 +1,160 @@
+package obs
+
+// OTLP/JSON export of retained request traces. The output of
+// /debug/traces/export follows the OpenTelemetry protocol's JSON
+// encoding (opentelemetry-proto trace/v1, proto3 JSON mapping: hex
+// IDs, stringified uint64 nanos, typed attribute values), so the file
+// drops straight into Jaeger's or Grafana Tempo's OTLP ingest without
+// this module importing any OpenTelemetry dependency.
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// otlpValue is the proto3-JSON AnyValue encoding.
+type otlpValue struct {
+	StringValue *string  `json:"stringValue,omitempty"`
+	IntValue    *string  `json:"intValue,omitempty"` // int64 as string, per proto3 JSON
+	DoubleValue *float64 `json:"doubleValue,omitempty"`
+	BoolValue   *bool    `json:"boolValue,omitempty"`
+}
+
+type otlpAttr struct {
+	Key   string    `json:"key"`
+	Value otlpValue `json:"value"`
+}
+
+type otlpStatus struct {
+	Code    int    `json:"code,omitempty"` // 2 = STATUS_CODE_ERROR
+	Message string `json:"message,omitempty"`
+}
+
+type otlpSpan struct {
+	TraceID           string      `json:"traceId"`
+	SpanID            string      `json:"spanId"`
+	ParentSpanID      string      `json:"parentSpanId,omitempty"`
+	Name              string      `json:"name"`
+	Kind              int         `json:"kind"`
+	StartTimeUnixNano string      `json:"startTimeUnixNano"`
+	EndTimeUnixNano   string      `json:"endTimeUnixNano"`
+	Attributes        []otlpAttr  `json:"attributes,omitempty"`
+	Status            *otlpStatus `json:"status,omitempty"`
+}
+
+type otlpScopeSpans struct {
+	Scope struct {
+		Name string `json:"name"`
+	} `json:"scope"`
+	Spans []otlpSpan `json:"spans"`
+}
+
+type otlpResourceSpans struct {
+	Resource struct {
+		Attributes []otlpAttr `json:"attributes"`
+	} `json:"resource"`
+	ScopeSpans []otlpScopeSpans `json:"scopeSpans"`
+}
+
+// OTLPExport is the /debug/traces/export document: every retained
+// request trace, flattened to OTLP spans under one decomine resource.
+type OTLPExport struct {
+	ResourceSpans []otlpResourceSpans `json:"resourceSpans"`
+}
+
+func otlpAttrValue(v any) otlpValue {
+	switch x := v.(type) {
+	case string:
+		return otlpValue{StringValue: &x}
+	case bool:
+		return otlpValue{BoolValue: &x}
+	case int:
+		s := strconv.FormatInt(int64(x), 10)
+		return otlpValue{IntValue: &s}
+	case int64:
+		s := strconv.FormatInt(x, 10)
+		return otlpValue{IntValue: &s}
+	case uint64:
+		s := strconv.FormatUint(x, 10)
+		return otlpValue{IntValue: &s}
+	case float64:
+		return otlpValue{DoubleValue: &x}
+	case time.Duration:
+		s := strconv.FormatInt(x.Nanoseconds(), 10)
+		return otlpValue{IntValue: &s}
+	default:
+		s := fmt.Sprint(v)
+		return otlpValue{StringValue: &s}
+	}
+}
+
+// otlpAttrs flattens span attributes; map-valued attributes (kernel
+// mixes) expand to one dotted key per entry, sorted for stable output.
+func otlpAttrs(attrs []SpanAttr) []otlpAttr {
+	out := make([]otlpAttr, 0, len(attrs))
+	for _, a := range attrs {
+		if m, ok := a.Value.(map[string]int64); ok {
+			keys := make([]string, 0, len(m))
+			for k := range m {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				out = append(out, otlpAttr{Key: a.Key + "." + k, Value: otlpAttrValue(m[k])})
+			}
+			continue
+		}
+		out = append(out, otlpAttr{Key: a.Key, Value: otlpAttrValue(a.Value)})
+	}
+	return out
+}
+
+// flattenOTLP appends the span and its descendants to spans.
+func flattenOTLP(s *Span, spans []otlpSpan) []otlpSpan {
+	if s == nil {
+		return spans
+	}
+	s.mu.Lock()
+	o := otlpSpan{
+		TraceID:           s.TraceID(),
+		SpanID:            s.SpanID(),
+		Name:              s.name,
+		Kind:              1, // SPAN_KIND_INTERNAL
+		StartTimeUnixNano: strconv.FormatInt(s.start.UnixNano(), 10),
+		EndTimeUnixNano:   strconv.FormatInt(s.start.Add(s.dur).UnixNano(), 10),
+		Attributes:        otlpAttrs(s.attrs),
+	}
+	if s.err != "" {
+		o.Status = &otlpStatus{Code: 2, Message: s.err}
+	}
+	children := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	if s.parent != nil {
+		o.ParentSpanID = s.parent.SpanID()
+	} else if s.tree.remoteParent != ([8]byte{}) {
+		o.ParentSpanID = fmt.Sprintf("%x", s.tree.remoteParent)
+	}
+	spans = append(spans, o)
+	for _, c := range children {
+		spans = flattenOTLP(c, spans)
+	}
+	return spans
+}
+
+// ExportOTLP renders the retained request traces as an OTLP/JSON
+// document (see OTLPExport).
+func ExportOTLP() *OTLPExport {
+	var spans []otlpSpan
+	for _, root := range TraceTrees() {
+		spans = flattenOTLP(root, spans)
+	}
+	name := "decomine"
+	rs := otlpResourceSpans{}
+	rs.Resource.Attributes = []otlpAttr{{Key: "service.name", Value: otlpValue{StringValue: &name}}}
+	ss := otlpScopeSpans{Spans: spans}
+	ss.Scope.Name = "decomine/internal/obs"
+	rs.ScopeSpans = []otlpScopeSpans{ss}
+	return &OTLPExport{ResourceSpans: []otlpResourceSpans{rs}}
+}

@@ -35,6 +35,10 @@ func publishExpvar() {
 //	/debug/vars         expvar (includes decomine.metrics, decomine.traces)
 //	/debug/traces       recent query traces as indented JSON (with
 //	                    per-trace kernel-path counters)
+//	/debug/trace/{id}   one retained request-trace span tree by its
+//	                    32-hex-digit W3C trace ID
+//	/debug/traces/export  every retained request trace as OTLP/JSON
+//	                    (drops into Jaeger / Grafana Tempo ingest)
 //	/debug/profile      accumulated VM sampling profile: flame-style
 //	                    JSON by default, ?format=pprof for a gzipped
 //	                    pprof protobuf dump
@@ -57,6 +61,23 @@ func Handler() http.Handler {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(RecentTraces())
+	})
+	mux.HandleFunc("/debug/trace/{id}", func(w http.ResponseWriter, r *http.Request) {
+		tree := TraceByID(r.PathValue("id"))
+		if tree == nil {
+			http.Error(w, `{"error":"unknown trace id"}`, http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(tree)
+	})
+	mux.HandleFunc("/debug/traces/export", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(ExportOTLP())
 	})
 	mux.HandleFunc("/debug/profile", func(w http.ResponseWriter, r *http.Request) {
 		p := GlobalProfile()

@@ -122,6 +122,7 @@ type Registry struct {
 	counters   map[string]*Counter
 	gauges     map[string]*Gauge
 	histograms map[string]*Histogram
+	help       map[string]string
 }
 
 // NewRegistry returns an empty registry.
@@ -130,6 +131,7 @@ func NewRegistry() *Registry {
 		counters:   map[string]*Counter{},
 		gauges:     map[string]*Gauge{},
 		histograms: map[string]*Histogram{},
+		help:       map[string]string{},
 	}
 }
 
@@ -175,6 +177,64 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
+// Label is one metric label pair for the labeled-family constructors.
+// Per-tenant serving metrics (server.tenant.*) are the main user: one
+// family name, one time series per tenant value, rendered with proper
+// Prometheus labels by WriteText.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// labeledName encodes a family name plus label pairs into the flat
+// registry key: `name{k1="v1",k2="v2"}` with keys sorted, which is
+// already the Prometheus series syntax, so /debug/vars JSON keeps its
+// flat map[string]value shape and WriteText only splits at the brace.
+func labeledName(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var sb strings.Builder
+	sb.WriteString(name)
+	sb.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%s=%q", promName(l.Key), l.Value)
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// LabeledCounter returns the counter of the family name with the given
+// label pairs, creating it on first use. Updates stay lock-free;
+// callers on hot paths should hoist the handle per label set.
+func (r *Registry) LabeledCounter(name string, labels ...Label) *Counter {
+	return r.Counter(labeledName(name, labels))
+}
+
+// LabeledGauge is Gauge with label pairs.
+func (r *Registry) LabeledGauge(name string, labels ...Label) *Gauge {
+	return r.Gauge(labeledName(name, labels))
+}
+
+// LabeledHistogram is Histogram with label pairs.
+func (r *Registry) LabeledHistogram(name string, labels ...Label) *Histogram {
+	return r.Histogram(labeledName(name, labels))
+}
+
+// SetHelp registers the `# HELP` text WriteText renders for a metric
+// family (the unlabeled family name). Families without registered help
+// get a generated line.
+func (r *Registry) SetHelp(name, help string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.help[name] = help
+}
+
 // HistSnapshot is a histogram in a Snapshot.
 type HistSnapshot struct {
 	Count   int64        `json:"count"`
@@ -183,11 +243,16 @@ type HistSnapshot struct {
 }
 
 // Snapshot is a point-in-time copy of every metric in a registry,
-// suitable for JSON encoding (expvar) or diffing (benchreport).
+// suitable for JSON encoding (expvar) or diffing (benchreport). Keys of
+// labeled metrics carry their label set inline (`name{k="v"}`), so the
+// JSON shape stays a flat map either way.
 type Snapshot struct {
 	Counters   map[string]int64        `json:"counters"`
 	Gauges     map[string]int64        `json:"gauges,omitempty"`
 	Histograms map[string]HistSnapshot `json:"histograms,omitempty"`
+	// help carries the registered # HELP texts for WriteText; it is not
+	// part of the JSON shape.
+	help map[string]string
 }
 
 // Snapshot copies the current value of every registered metric.
@@ -198,6 +263,7 @@ func (r *Registry) Snapshot() Snapshot {
 		Counters:   make(map[string]int64, len(r.counters)),
 		Gauges:     make(map[string]int64, len(r.gauges)),
 		Histograms: make(map[string]HistSnapshot, len(r.histograms)),
+		help:       make(map[string]string, len(r.help)),
 	}
 	for name, c := range r.counters {
 		s.Counters[name] = c.Load()
@@ -207,6 +273,9 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	for name, h := range r.histograms {
 		s.Histograms[name] = HistSnapshot{Count: h.Count(), Sum: h.Sum(), Buckets: h.Buckets()}
+	}
+	for name, help := range r.help {
+		s.help[name] = help
 	}
 	return s
 }
@@ -223,46 +292,103 @@ func promName(n string) string {
 	return strings.NewReplacer(".", "_", "-", "_").Replace(n)
 }
 
-// WriteText renders the registry in a flat, stable, line-oriented text
-// format (the /metrics endpoint). Counters and gauges keep the simple
-// "counter <name> <value>" form; histograms are rendered as
-// Prometheus-style cumulative series — one `<name>_bucket{le="..."}`
-// line per occupied power-of-two bound plus the `le="+Inf"` total, and
-// the `_sum`/`_count` companions — instead of the raw log₂ arrays, so
-// a Prometheus scrape of /metrics ingests them as native histograms.
+// splitSeries splits a registry key into its family name and the
+// inline label block (`{k="v",...}`, "" when unlabeled).
+func splitSeries(key string) (family, labels string) {
+	if i := strings.IndexByte(key, '{'); i >= 0 {
+		return key[:i], key[i:]
+	}
+	return key, ""
+}
+
+// withLabels merges a series' label block with extra `k="v"` pairs
+// (the histogram `le` bound).
+func withLabels(labels, extra string) string {
+	if extra == "" {
+		return labels
+	}
+	if labels == "" {
+		return "{" + extra + "}"
+	}
+	return labels[:len(labels)-1] + "," + extra + "}"
+}
+
+// families groups a flat series map by family name, each family's
+// series sorted by label block.
+func families(m map[string]int64) (names []string, series map[string][]string) {
+	series = map[string][]string{}
+	for key := range m {
+		fam, _ := splitSeries(key)
+		series[fam] = append(series[fam], key)
+	}
+	names = make([]string, 0, len(series))
+	for fam := range series {
+		names = append(names, fam)
+		sort.Strings(series[fam])
+	}
+	sort.Strings(names)
+	return names, series
+}
+
+// helpLine emits the `# HELP` and `# TYPE` header for one family,
+// falling back to a generated help text when none was registered.
+func (s Snapshot) helpLine(sb *strings.Builder, fam, promFam, typ string) {
+	help := s.help[fam]
+	if help == "" {
+		help = "DecoMine " + typ + " " + fam + "."
+	}
+	fmt.Fprintf(sb, "# HELP %s %s\n", promFam, help)
+	fmt.Fprintf(sb, "# TYPE %s %s\n", promFam, typ)
+}
+
+// WriteText renders the registry in the Prometheus text exposition
+// format (the /metrics endpoint): every family gets `# HELP` and
+// `# TYPE` headers, labeled series render with their label blocks, and
+// histograms emit cumulative `<name>_bucket{le="..."}` series over the
+// occupied power-of-two bounds plus the `le="+Inf"` total and the
+// `_sum`/`_count` companions, so a Prometheus scrape ingests them as
+// native histograms. Names are sanitized (dots and dashes become
+// underscores); /debug/vars keeps the raw names.
 func (s Snapshot) WriteText(sb *strings.Builder) {
-	names := make([]string, 0, len(s.Counters))
-	for n := range s.Counters {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	for _, n := range names {
-		fmt.Fprintf(sb, "counter %s %d\n", n, s.Counters[n])
-	}
-	names = names[:0]
-	for n := range s.Gauges {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	for _, n := range names {
-		fmt.Fprintf(sb, "gauge %s %d\n", n, s.Gauges[n])
-	}
-	names = names[:0]
-	for n := range s.Histograms {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	for _, n := range names {
-		h := s.Histograms[n]
-		pn := promName(n)
-		fmt.Fprintf(sb, "# TYPE %s histogram\n", pn)
-		var cum int64
-		for _, b := range h.Buckets {
-			cum += b.Count
-			fmt.Fprintf(sb, "%s_bucket{le=\"%d\"} %d\n", pn, b.Upper, cum)
+	for _, group := range []struct {
+		typ string
+		m   map[string]int64
+	}{{"counter", s.Counters}, {"gauge", s.Gauges}} {
+		fams, series := families(group.m)
+		for _, fam := range fams {
+			pn := promName(fam)
+			s.helpLine(sb, fam, pn, group.typ)
+			for _, key := range series[fam] {
+				_, labels := splitSeries(key)
+				fmt.Fprintf(sb, "%s%s %d\n", pn, labels, group.m[key])
+			}
 		}
-		fmt.Fprintf(sb, "%s_bucket{le=\"+Inf\"} %d\n", pn, h.Count)
-		fmt.Fprintf(sb, "%s_sum %d\n", pn, h.Sum)
-		fmt.Fprintf(sb, "%s_count %d\n", pn, h.Count)
+	}
+	hfams := map[string][]string{}
+	for key := range s.Histograms {
+		fam, _ := splitSeries(key)
+		hfams[fam] = append(hfams[fam], key)
+	}
+	hnames := make([]string, 0, len(hfams))
+	for fam := range hfams {
+		hnames = append(hnames, fam)
+		sort.Strings(hfams[fam])
+	}
+	sort.Strings(hnames)
+	for _, fam := range hnames {
+		pn := promName(fam)
+		s.helpLine(sb, fam, pn, "histogram")
+		for _, key := range hfams[fam] {
+			h := s.Histograms[key]
+			_, labels := splitSeries(key)
+			var cum int64
+			for _, b := range h.Buckets {
+				cum += b.Count
+				fmt.Fprintf(sb, "%s_bucket%s %d\n", pn, withLabels(labels, fmt.Sprintf("le=%q", fmt.Sprint(b.Upper))), cum)
+			}
+			fmt.Fprintf(sb, "%s_bucket%s %d\n", pn, withLabels(labels, `le="+Inf"`), h.Count)
+			fmt.Fprintf(sb, "%s_sum%s %d\n", pn, labels, h.Sum)
+			fmt.Fprintf(sb, "%s_count%s %d\n", pn, labels, h.Count)
+		}
 	}
 }

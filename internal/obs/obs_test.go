@@ -95,7 +95,8 @@ func TestSnapshotAndDelta(t *testing.T) {
 	// Histograms render as Prometheus-style cumulative series: 9 lands
 	// in the [8,16) power-of-two bucket.
 	for _, want := range []string{
-		"counter fresh 1", "counter x 7",
+		"# TYPE fresh counter", "fresh 1",
+		"# TYPE x counter", "x 7",
 		"# TYPE h histogram",
 		`h_bucket{le="16"} 1`, `h_bucket{le="+Inf"} 1`,
 		"h_sum 9", "h_count 1",
@@ -135,16 +136,73 @@ func TestWriteTextHistogramCumulative(t *testing.T) {
 	}
 }
 
+func TestLabeledFamilies(t *testing.T) {
+	r := NewRegistry()
+	r.SetHelp("server.tenant.fuel_spent", "Fuel units spent per tenant.")
+	r.LabeledCounter("server.tenant.fuel_spent", Label{"tenant", "acme"}).Add(12)
+	r.LabeledCounter("server.tenant.fuel_spent", Label{"tenant", "beta"}).Add(3)
+	// Label order must not matter: both spellings hit the same series.
+	c1 := r.LabeledCounter("m", Label{"b", "2"}, Label{"a", "1"})
+	c2 := r.LabeledCounter("m", Label{"a", "1"}, Label{"b", "2"})
+	if c1 != c2 {
+		t.Fatal("label order produced distinct series handles")
+	}
+	c1.Inc()
+	r.LabeledGauge("depth", Label{"tenant", "acme"}).Set(4)
+	r.LabeledHistogram("wait", Label{"tenant", "acme"}).Observe(9)
+
+	var sb strings.Builder
+	r.Snapshot().WriteText(&sb)
+	text := sb.String()
+	for _, want := range []string{
+		"# HELP server_tenant_fuel_spent Fuel units spent per tenant.",
+		"# TYPE server_tenant_fuel_spent counter",
+		`server_tenant_fuel_spent{tenant="acme"} 12`,
+		`server_tenant_fuel_spent{tenant="beta"} 3`,
+		`m{a="1",b="2"} 1`,
+		`depth{tenant="acme"} 4`,
+		"# TYPE wait histogram",
+		`wait_bucket{tenant="acme",le="16"} 1`,
+		`wait_bucket{tenant="acme",le="+Inf"} 1`,
+		`wait_sum{tenant="acme"} 9`,
+		`wait_count{tenant="acme"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("text dump missing %q:\n%s", want, text)
+		}
+	}
+	// The TYPE header must appear once per family, not once per series.
+	if n := strings.Count(text, "# TYPE server_tenant_fuel_spent counter"); n != 1 {
+		t.Errorf("TYPE header emitted %d times, want 1:\n%s", n, text)
+	}
+
+	// /debug/vars JSON stability: labeled series stay flat map entries.
+	snap := r.Snapshot()
+	blob, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatalf("snapshot marshal: %v", err)
+	}
+	var decoded struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.Unmarshal(blob, &decoded); err != nil {
+		t.Fatalf("snapshot unmarshal: %v", err)
+	}
+	if decoded.Counters[`server.tenant.fuel_spent{tenant="acme"}`] != 12 {
+		t.Errorf("flat JSON missing labeled counter key: %v", decoded.Counters)
+	}
+}
+
 func TestTraceRing(t *testing.T) {
-	cap := TraceRingSize()
-	for i := 0; i < cap+5; i++ {
+	ringCap := TraceRingSize()
+	for i := 0; i < ringCap+5; i++ {
 		tr := NewTrace("q")
 		tr.Span(PhaseExecute, time.Millisecond, 0)
 		tr.Finish(nil)
 	}
 	got := RecentTraces()
-	if len(got) != cap {
-		t.Fatalf("ring holds %d traces, want %d", len(got), cap)
+	if len(got) != ringCap {
+		t.Fatalf("ring holds %d traces, want %d", len(got), ringCap)
 	}
 	for i := 1; i < len(got); i++ {
 		if got[i].ID <= got[i-1].ID {
@@ -162,7 +220,7 @@ func TestHandlerEndpoints(t *testing.T) {
 	h := Handler()
 
 	for path, want := range map[string]string{
-		"/metrics":                    "counter test.handler",
+		"/metrics":                    "# TYPE test_handler counter",
 		"/debug/vars":                 "decomine.metrics",
 		"/debug/traces":               "[",
 		"/debug/profile":              `"flame"`,

@@ -14,9 +14,21 @@ import (
 
 var obsQueriesInflight = Default.Gauge("queries.inflight")
 
+// QueryMeta is the request-attribution metadata an in-flight query
+// registers alongside its name: the owning tenant, the request's W3C
+// trace ID, and how long the request waited for a fair-scheduler slot
+// before executing. The zero value means "no attribution" (library
+// callers outside the serving path).
+type QueryMeta struct {
+	Tenant    string
+	TraceID   string
+	QueueWait time.Duration
+}
+
 type queryRec struct {
 	id       uint64
 	name     string
+	meta     QueryMeta
 	begin    time.Time
 	progress func() float64
 	cancel   func()
@@ -43,10 +55,18 @@ func RegisterQuery(name string, progress func() float64) (id uint64, unregister 
 // /debug/queries/cancel?id=N, and must be safe to call concurrently
 // with the query finishing.
 func RegisterQueryCancelable(name string, progress func() float64, cancel func()) (id uint64, unregister func()) {
+	return RegisterQueryMeta(name, QueryMeta{}, progress, cancel)
+}
+
+// RegisterQueryMeta is RegisterQueryCancelable with request-attribution
+// metadata: /debug/queries then shows the query's tenant, trace ID and
+// queue wait next to its progress, so a live query links back to its
+// request trace and its tenant's budget.
+func RegisterQueryMeta(name string, meta QueryMeta, progress func() float64, cancel func()) (id uint64, unregister func()) {
 	queryMu.Lock()
 	queryNextID++
 	id = queryNextID
-	queryLive[id] = &queryRec{id: id, name: name, begin: time.Now(), progress: progress, cancel: cancel}
+	queryLive[id] = &queryRec{id: id, name: name, meta: meta, begin: time.Now(), progress: progress, cancel: cancel}
 	queryMu.Unlock()
 	obsQueriesInflight.Add(1)
 	return id, func() {
@@ -62,10 +82,15 @@ func RegisterQueryCancelable(name string, progress func() float64, cancel func()
 
 // LiveQuery is one in-flight query as reported by /debug/queries.
 type LiveQuery struct {
-	ID        uint64    `json:"id"`
-	Name      string    `json:"name"`
-	StartedAt time.Time `json:"started_at"`
-	RunningNS int64     `json:"running_ns"`
+	ID   uint64 `json:"id"`
+	Name string `json:"name"`
+	// Tenant, TraceID and QueueWaitNS attribute served queries to their
+	// tenant and request trace (empty/zero for library-level queries).
+	Tenant      string    `json:"tenant,omitempty"`
+	TraceID     string    `json:"trace_id,omitempty"`
+	QueueWaitNS int64     `json:"queue_wait_ns,omitempty"`
+	StartedAt   time.Time `json:"started_at"`
+	RunningNS   int64     `json:"running_ns"`
 	// Progress is the completion fraction in [0, 1] (0 when the query
 	// has no progress source).
 	Progress float64 `json:"progress"`
@@ -106,7 +131,11 @@ func LiveQueries() []LiveQuery {
 	sort.Slice(recs, func(i, j int) bool { return recs[i].id < recs[j].id })
 	out := make([]LiveQuery, 0, len(recs))
 	for _, r := range recs {
-		q := LiveQuery{ID: r.id, Name: r.name, StartedAt: r.begin, RunningNS: time.Since(r.begin).Nanoseconds(), ETANS: -1, Cancelable: r.cancel != nil}
+		q := LiveQuery{
+			ID: r.id, Name: r.name,
+			Tenant: r.meta.Tenant, TraceID: r.meta.TraceID, QueueWaitNS: r.meta.QueueWait.Nanoseconds(),
+			StartedAt: r.begin, RunningNS: time.Since(r.begin).Nanoseconds(), ETANS: -1, Cancelable: r.cancel != nil,
+		}
 		if r.progress != nil {
 			p := r.progress()
 			if p < 0 {

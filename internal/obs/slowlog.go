@@ -34,10 +34,15 @@ func SlowQueryThreshold() time.Duration {
 
 // SlowQuery is one slow-query record.
 type SlowQuery struct {
-	TraceID    uint64    `json:"trace_id"`
-	Name       string    `json:"name"`
-	Begin      time.Time `json:"begin"`
-	DurationNS int64     `json:"duration_ns"`
+	TraceID uint64 `json:"trace_id"`
+	// RequestTraceID is the W3C trace ID of the served request this
+	// query ran under (empty for library-level queries): the operator's
+	// link from a slow-log entry to its full span tree at
+	// /debug/trace/{id}.
+	RequestTraceID string    `json:"request_trace_id,omitempty"`
+	Name           string    `json:"name"`
+	Begin          time.Time `json:"begin"`
+	DurationNS     int64     `json:"duration_ns"`
 	// Plan carries the compiler's choice description plus the optimized
 	// pseudocode (the Explain AST), Disassembly the lowered bytecode.
 	Plan        string `json:"plan,omitempty"`

@@ -16,8 +16,9 @@ const (
 	PhaseExecute   = "execute"
 )
 
-// Span is one timed phase of a query.
-type Span struct {
+// PhaseSpan is one timed phase of a query (the flat per-query record;
+// see Span for the request-scoped hierarchical tracer).
+type PhaseSpan struct {
 	Phase    string        `json:"phase"`
 	Duration time.Duration `json:"duration_ns"`
 	// Candidates is the number of candidate plans involved (compile-side
@@ -31,7 +32,7 @@ type Trace struct {
 	ID    uint64        `json:"id"`
 	Name  string        `json:"name"`
 	Begin time.Time     `json:"begin"`
-	Spans []Span        `json:"spans"`
+	Spans []PhaseSpan   `json:"spans"`
 	Total time.Duration `json:"total_ns"`
 	Err   string        `json:"err,omitempty"`
 	// Kernels is the query's set-kernel dispatch mix (merge / gallop /
@@ -54,7 +55,7 @@ func (t *Trace) Span(phase string, d time.Duration, candidates int) {
 	if t == nil {
 		return
 	}
-	t.Spans = append(t.Spans, Span{Phase: phase, Duration: d, Candidates: candidates})
+	t.Spans = append(t.Spans, PhaseSpan{Phase: phase, Duration: d, Candidates: candidates})
 }
 
 // Finish stamps the total duration, records err (if any), and publishes

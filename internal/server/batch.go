@@ -49,10 +49,12 @@ type batchStats struct {
 
 // batchResponse is the POST /queries/batch reply.
 type batchResponse struct {
-	Graph         string       `json:"graph"`
-	Epoch         uint64       `json:"epoch"`
-	Induced       bool         `json:"induced"`
-	Tenant        string       `json:"tenant"`
+	Graph   string `json:"graph"`
+	Epoch   uint64 `json:"epoch"`
+	Induced bool   `json:"induced"`
+	Tenant  string `json:"tenant"`
+	// TraceID is the request's W3C trace ID (see queryResponse.TraceID).
+	TraceID       string       `json:"trace_id"`
 	Counts        []batchCount `json:"counts"`
 	Batch         batchStats   `json:"batch"`
 	EstimatedCost float64      `json:"estimated_cost"`
@@ -77,34 +79,48 @@ func (c *epochCache) Lookup(code string) (int64, bool) { return c.cache.get(c.ke
 
 func (c *epochCache) Store(code string, count int64) { c.cache.put(c.key(code), count) }
 
+// handleBatch wraps the batch body in a request trace span (see
+// handleQuery): the tree covers admission, cache lookup, planning, and
+// every dependency wave with its per-subquery execution spans.
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	span := obs.StartSpanContext("http.batch", r.Header.Get("traceparent"))
+	w.Header().Set("Traceparent", span.TraceParent())
+	err := s.serveBatch(w, r, span)
+	span.EndErr(err)
+}
+
+func (s *Server) serveBatch(w http.ResponseWriter, r *http.Request, span *obs.Span) error {
 	begin := time.Now()
 	obsBatchRequests.Inc()
 	var req batchRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("server: bad request body: %v", err))
-		return
+		err = fmt.Errorf("server: bad request body: %v", err)
+		writeError(w, http.StatusBadRequest, err)
+		return err
 	}
 	if len(req.Patterns) == 0 {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("server: batch has no patterns"))
-		return
+		err := fmt.Errorf("server: batch has no patterns")
+		writeError(w, http.StatusBadRequest, err)
+		return err
 	}
 	tenant := r.Header.Get("X-Tenant")
 	if tenant == "" {
 		tenant = "default"
 	}
+	span.SetTenant(tenant)
+	span.SetAttr("patterns", int64(len(req.Patterns)))
 	tc := s.tenantConfig(tenant)
 	entry, err := s.entry(req.Graph)
 	if err != nil {
 		writeError(w, http.StatusNotFound, err)
-		return
+		return err
 	}
 	pats := make([]*decomine.Pattern, len(req.Patterns))
 	for i, spec := range req.Patterns {
 		p, err := parseQueryPattern(&queryRequest{Pattern: spec})
 		if err != nil {
 			writeError(w, http.StatusBadRequest, err)
-			return
+			return err
 		}
 		pats[i] = p
 	}
@@ -113,6 +129,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	opts := decomine.BatchOpts{
 		Induced: req.Induced,
 		Fuel:    grantFuel(tc),
+		Span:    span,
 	}
 	if !s.cfg.DisableCache {
 		opts.Cache = &epochCache{cache: s.cache, graph: entry.name, epoch: epoch}
@@ -124,7 +141,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	// the error path below must not duplicate.
 	admitWrote := false
 	opts.Admit = func(price float64) (func(), error) {
-		release, err := s.admit(w, r, tc, tenant, price)
+		release, err := s.admit(w, r, tc, tenant, price, span)
 		if err != nil {
 			admitWrote = true
 		}
@@ -136,7 +153,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		if !admitWrote {
 			writeQueryError(w, err)
 		}
-		return
+		return err
 	}
 
 	resp := &batchResponse{
@@ -144,6 +161,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		Epoch:   epoch,
 		Induced: req.Induced,
 		Tenant:  tenant,
+		TraceID: span.TraceID(),
 		Counts:  make([]batchCount, len(pats)),
 		Batch: batchStats{
 			Patterns:     br.Stats.Patterns,
@@ -172,7 +190,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			}, br.Results[i].Count)
 		}
 	}
-	tenantCounter("batch", tenant).Inc()
+	tenantCounter("batch_queries", tenant).Inc()
+	tenantCounter("batch_shared_hits", tenant).Add(br.Stats.SharedHits)
+	tenantCounter("fuel_spent", tenant).Add(br.Stats.Instructions)
 	resp.ElapsedNS = time.Since(begin).Nanoseconds()
 	writeJSON(w, http.StatusOK, resp)
+	return nil
 }

@@ -15,12 +15,28 @@ import (
 	"decomine/internal/pattern"
 )
 
-// Aggregate query counter; per-tenant admission/cache/rewrite counters
-// are created on first use (server.<event>.<tenant>).
+// Aggregate query counter; per-tenant serving counters are labeled
+// Prometheus families (server.tenant.<event>{tenant="..."}) created on
+// first use.
 var obsQueries = obs.Default.Counter("server.queries")
 
+func init() {
+	for family, help := range map[string]string{
+		"server.tenant.queue_wait_ns":     "Nanoseconds requests spent waiting for a fair-scheduler slot, per tenant.",
+		"server.tenant.fuel_spent":        "VM instructions executed on behalf of a tenant's requests.",
+		"server.tenant.admission_rejects": "Requests rejected by admission control (price ceiling or full queue), per tenant.",
+		"server.tenant.admitted":          "Requests granted an execution slot, per tenant.",
+		"server.tenant.cache_hits":        "Queries answered entirely from the result cache, per tenant.",
+		"server.tenant.rewrite_hits":      "Queries composed from cached subpattern counts (GEO rewrites), per tenant.",
+		"server.tenant.batch_queries":     "Batch requests served, per tenant.",
+		"server.tenant.batch_shared_hits": "Batch subquery demands served without a dedicated execution, per tenant.",
+	} {
+		obs.Default.SetHelp(family, help)
+	}
+}
+
 func tenantCounter(event, tenant string) *obs.Counter {
-	return obs.Default.Counter("server." + event + "." + tenant)
+	return obs.Default.LabeledCounter("server.tenant."+event, obs.Label{Key: "tenant", Value: tenant})
 }
 
 // statusClientClosed mirrors the de-facto "client closed request"
@@ -57,6 +73,10 @@ type queryResponse struct {
 	Pattern string `json:"pattern"`
 	Induced bool   `json:"induced"`
 	Tenant  string `json:"tenant"`
+	// TraceID is the request's W3C trace ID (from the client's
+	// traceparent header when one was sent, generated otherwise); the
+	// request's span tree — when retained — lives at /debug/trace/{id}.
+	TraceID string `json:"trace_id"`
 	Count   int64  `json:"count"`
 	// Cached reports the whole answer was served from the result cache.
 	Cached bool `json:"cached"`
@@ -137,37 +157,52 @@ func constraintFlavor(p *decomine.Pattern, cons []decomine.LabelConstraint) stri
 	return sb.String()
 }
 
+// handleQuery wraps the query body in a request trace span: the root
+// adopts the client's traceparent (when sent), is echoed back in the
+// Traceparent response header, and — tail-retention permitting — the
+// finished tree is retrievable at /debug/trace/{id}.
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	span := obs.StartSpanContext("http.query", r.Header.Get("traceparent"))
+	w.Header().Set("Traceparent", span.TraceParent())
+	err := s.serveQuery(w, r, span)
+	span.EndErr(err)
+}
+
+func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, span *obs.Span) error {
 	begin := time.Now()
 	obsQueries.Inc()
 	var req queryRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("server: bad request body: %v", err))
-		return
+		err = fmt.Errorf("server: bad request body: %v", err)
+		writeError(w, http.StatusBadRequest, err)
+		return err
 	}
 	tenant := r.Header.Get("X-Tenant")
 	if tenant == "" {
 		tenant = "default"
 	}
+	span.SetTenant(tenant)
+	span.SetAttr("pattern", req.Pattern)
 	tc := s.tenantConfig(tenant)
 	entry, err := s.entry(req.Graph)
 	if err != nil {
 		writeError(w, http.StatusNotFound, err)
-		return
+		return err
 	}
 	p, err := parseQueryPattern(&req)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
-		return
+		return err
 	}
 	cons, err := parseConstraints(req.Constraints)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
-		return
+		return err
 	}
 	if req.Induced && len(cons) > 0 {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("server: vertex-induced counting with constraints is not supported"))
-		return
+		err = fmt.Errorf("server: vertex-induced counting with constraints is not supported")
+		writeError(w, http.StatusBadRequest, err)
+		return err
 	}
 
 	epoch := entry.epoch.Load()
@@ -177,6 +212,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Pattern: p.String(),
 		Induced: req.Induced,
 		Tenant:  tenant,
+		TraceID: span.TraceID(),
 	}
 	key := cacheKey{
 		graph:   entry.name,
@@ -186,12 +222,16 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		flavor:  constraintFlavor(p, cons),
 	}
 	if !s.cfg.DisableCache {
-		if v, ok := s.cache.get(key); ok {
-			tenantCounter("cache_hit", tenant).Inc()
+		lookup := span.StartChild("cache_lookup")
+		v, ok := s.cache.get(key)
+		lookup.SetAttr("hit", ok)
+		lookup.End()
+		if ok {
+			tenantCounter("cache_hits", tenant).Inc()
 			resp.Count, resp.Cached = v, true
 			resp.ElapsedNS = time.Since(begin).Nanoseconds()
 			writeJSON(w, http.StatusOK, resp)
-			return
+			return nil
 		}
 	}
 
@@ -204,7 +244,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		rw, ok, err := decomp.RewriteQuery(p.Raw(), req.Induced)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, err)
-			return
+			return err
 		}
 		if ok {
 			recipe = rw
@@ -213,19 +253,21 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 	var count int64
 	if recipe != nil {
-		count, err = s.runRewrite(w, r, entry, tc, tenant, recipe, resp)
+		count, err = s.runRewrite(w, r, entry, tc, tenant, recipe, resp, span)
 	} else {
-		count, err = s.runDirect(w, r, entry, tc, tenant, p, cons, req.Induced, resp)
+		count, err = s.runDirect(w, r, entry, tc, tenant, p, cons, req.Induced, resp, span)
 	}
 	if err != nil {
-		return // runRewrite/runDirect already wrote the error response
+		return err // runRewrite/runDirect already wrote the error response
 	}
+	tenantCounter("fuel_spent", tenant).Add(resp.Instructions)
 	if !s.cfg.DisableCache {
 		s.cache.put(key, count)
 	}
 	resp.Count = count
 	resp.ElapsedNS = time.Since(begin).Nanoseconds()
 	writeJSON(w, http.StatusOK, resp)
+	return nil
 }
 
 // needKey is the cache key of one rewrite need: always an edge-induced,
@@ -240,9 +282,10 @@ func (s *Server) needKey(entry *graphEntry, epoch uint64, q *pattern.Pattern) ca
 // whose needs were all cached never touches the VM and reports
 // Rewritten. On error, the HTTP response has been written and a non-nil
 // error is returned.
-func (s *Server) runRewrite(w http.ResponseWriter, r *http.Request, entry *graphEntry, tc TenantConfig, tenant string, recipe *decomp.Rewrite, resp *queryResponse) (int64, error) {
+func (s *Server) runRewrite(w http.ResponseWriter, r *http.Request, entry *graphEntry, tc TenantConfig, tenant string, recipe *decomp.Rewrite, resp *queryResponse, span *obs.Span) (int64, error) {
 	counts := map[pattern.Code]int64{}
 	var missing []*pattern.Pattern
+	lookup := span.StartChild("rewrite_lookup")
 	for _, q := range recipe.Needs {
 		if !s.cfg.DisableCache {
 			if v, ok := s.cache.get(s.needKey(entry, resp.Epoch, q)); ok {
@@ -252,6 +295,9 @@ func (s *Server) runRewrite(w http.ResponseWriter, r *http.Request, entry *graph
 		}
 		missing = append(missing, q)
 	}
+	lookup.SetAttr("needs", int64(len(recipe.Needs)))
+	lookup.SetAttr("missing", int64(len(missing)))
+	lookup.End()
 
 	if len(missing) > 0 {
 		var price float64
@@ -264,14 +310,14 @@ func (s *Server) runRewrite(w http.ResponseWriter, r *http.Request, entry *graph
 			price += c
 		}
 		resp.EstimatedCost = price
-		release, err := s.admit(w, r, tc, tenant, price)
+		release, err := s.admit(w, r, tc, tenant, price, span)
 		if err != nil {
 			return 0, err
 		}
 		defer release()
 		fuel := grantFuel(tc)
 		for _, q := range missing {
-			res, err := entry.sys.CountPatternOpts(decomine.RawPattern(q), decomine.QueryOpts{Fuel: fuel})
+			res, err := entry.sys.CountPatternOpts(decomine.RawPattern(q), decomine.QueryOpts{Fuel: fuel, Span: span})
 			if err != nil {
 				writeQueryError(w, err)
 				return 0, err
@@ -292,7 +338,7 @@ func (s *Server) runRewrite(w http.ResponseWriter, r *http.Request, entry *graph
 	}
 	if len(missing) == 0 {
 		resp.Rewritten = true
-		tenantCounter("rewrite_hit", tenant).Inc()
+		tenantCounter("rewrite_hits", tenant).Inc()
 	}
 	return count, nil
 }
@@ -301,14 +347,14 @@ func (s *Server) runRewrite(w http.ResponseWriter, r *http.Request, entry *graph
 // edge-induced patterns (optionally constrained), or — with the rewrite
 // layer disabled — the library's vertex-induced conversion path
 // (unbudgeted). On error, the HTTP response has been written.
-func (s *Server) runDirect(w http.ResponseWriter, r *http.Request, entry *graphEntry, tc TenantConfig, tenant string, p *decomine.Pattern, cons []decomine.LabelConstraint, induced bool, resp *queryResponse) (int64, error) {
+func (s *Server) runDirect(w http.ResponseWriter, r *http.Request, entry *graphEntry, tc TenantConfig, tenant string, p *decomine.Pattern, cons []decomine.LabelConstraint, induced bool, resp *queryResponse, span *obs.Span) (int64, error) {
 	price, err := entry.sys.EstimateCost(p, decomine.QueryOpts{Constraints: cons})
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return 0, err
 	}
 	resp.EstimatedCost = price
-	release, err := s.admit(w, r, tc, tenant, price)
+	release, err := s.admit(w, r, tc, tenant, price, span)
 	if err != nil {
 		return 0, err
 	}
@@ -324,7 +370,7 @@ func (s *Server) runDirect(w http.ResponseWriter, r *http.Request, entry *graphE
 		resp.ExecutedSubqueries++
 		return count, nil
 	}
-	res, err := entry.sys.CountPatternOpts(p, decomine.QueryOpts{Constraints: cons, Fuel: grantFuel(tc)})
+	res, err := entry.sys.CountPatternOpts(p, decomine.QueryOpts{Constraints: cons, Fuel: grantFuel(tc), Span: span})
 	if err != nil {
 		writeQueryError(w, err)
 		return 0, err
@@ -335,27 +381,36 @@ func (s *Server) runDirect(w http.ResponseWriter, r *http.Request, entry *graphE
 }
 
 // admit enforces the tenant's price ceiling and queue cap, then blocks
-// for a fair-scheduled execution slot. On rejection the HTTP response
-// has been written and a non-nil error returned; on success the
-// returned release frees the slot.
-func (s *Server) admit(w http.ResponseWriter, r *http.Request, tc TenantConfig, tenant string, price float64) (func(), error) {
+// for a fair-scheduled execution slot, recording an "admission" span
+// (price, queue wait) and the tenant's queue-wait telemetry. On
+// rejection the HTTP response has been written and a non-nil error
+// returned; on success the returned release frees the slot.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request, tc TenantConfig, tenant string, price float64, span *obs.Span) (func(), error) {
+	adm := span.StartChild("admission")
+	adm.SetAttr("price", price)
 	if tc.MaxEstimatedCost > 0 && price > tc.MaxEstimatedCost {
-		tenantCounter("rejected", tenant).Inc()
+		tenantCounter("admission_rejects", tenant).Inc()
 		err := fmt.Errorf("server: estimated cost %.3g exceeds tenant ceiling %.3g", price, tc.MaxEstimatedCost)
 		writeError(w, http.StatusTooManyRequests, err)
+		adm.EndErr(err)
 		return nil, err
 	}
-	release, err := s.sched.acquire(r.Context(), tenant, tc.MaxQueued)
+	release, wait, err := s.sched.acquire(r.Context(), tenant, tc.MaxQueued)
 	if err != nil {
-		tenantCounter("rejected", tenant).Inc()
+		tenantCounter("admission_rejects", tenant).Inc()
 		status := http.StatusTooManyRequests
 		if errors.Is(err, r.Context().Err()) && r.Context().Err() != nil {
 			status = statusClientClosed
 		}
 		writeError(w, status, err)
+		adm.EndErr(err)
 		return nil, err
 	}
 	tenantCounter("admitted", tenant).Inc()
+	tenantCounter("queue_wait_ns", tenant).Add(wait.Nanoseconds())
+	span.SetQueueWait(wait)
+	adm.SetAttr("queue_wait_ns", wait.Nanoseconds())
+	adm.End()
 	return release, nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"sync"
+	"time"
 )
 
 // errQueueFull rejects a query whose tenant already has MaxQueued
@@ -37,10 +38,12 @@ func newFairSched(maxRunning int) *fairSched {
 }
 
 // acquire blocks until the tenant is granted an execution slot,
-// returning the release function. It fails fast with errQueueFull when
-// the tenant already has maxQueued waiters (0 = unlimited), and
-// abandons the wait when ctx is done.
-func (s *fairSched) acquire(ctx context.Context, tenant string, maxQueued int) (func(), error) {
+// returning the release function and how long the caller waited for the
+// grant (the queue-wait telemetry signal). It fails fast with
+// errQueueFull when the tenant already has maxQueued waiters (0 =
+// unlimited), and abandons the wait when ctx is done.
+func (s *fairSched) acquire(ctx context.Context, tenant string, maxQueued int) (func(), time.Duration, error) {
+	begin := time.Now()
 	s.mu.Lock()
 	if _, ok := s.queues[tenant]; !ok {
 		s.queues[tenant] = nil
@@ -48,7 +51,7 @@ func (s *fairSched) acquire(ctx context.Context, tenant string, maxQueued int) (
 	}
 	if maxQueued > 0 && len(s.queues[tenant]) >= maxQueued {
 		s.mu.Unlock()
-		return nil, errQueueFull
+		return nil, 0, errQueueFull
 	}
 	w := &schedWaiter{ch: make(chan struct{})}
 	s.queues[tenant] = append(s.queues[tenant], w)
@@ -57,7 +60,7 @@ func (s *fairSched) acquire(ctx context.Context, tenant string, maxQueued int) (
 
 	select {
 	case <-w.ch:
-		return s.release, nil
+		return s.release, time.Since(begin), nil
 	case <-ctx.Done():
 		s.mu.Lock()
 		if s.removeLocked(tenant, w) {
@@ -69,7 +72,7 @@ func (s *fairSched) acquire(ctx context.Context, tenant string, maxQueued int) (
 			s.mu.Unlock()
 			s.release()
 		}
-		return nil, ctx.Err()
+		return nil, 0, ctx.Err()
 	}
 }
 

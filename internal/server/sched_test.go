@@ -21,7 +21,7 @@ func TestFairSchedRoundRobin(t *testing.T) {
 	s := newFairSched(1)
 	ctx := context.Background()
 
-	relA1, err := s.acquire(ctx, "a", 0)
+	relA1, _, err := s.acquire(ctx, "a", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -31,7 +31,7 @@ func TestFairSchedRoundRobin(t *testing.T) {
 	start := func(tenant, label string) chan func() {
 		got := make(chan func(), 1)
 		go func() {
-			rel, err := s.acquire(ctx, tenant, 0)
+			rel, _, err := s.acquire(ctx, tenant, 0)
 			if err != nil {
 				t.Error(err)
 				close(got)
@@ -82,19 +82,83 @@ func TestFairSchedRoundRobin(t *testing.T) {
 	}
 }
 
+// TestFairSchedQueueWait pins the queue-wait measurement under
+// contention: with one slot held and one waiter from each of three
+// tenants queued behind it, every waiter must report a wait at least as
+// long as the interval the slot was provably held after it enqueued.
+// The bound is deterministic — each waiter's acquire began before it was
+// observed queued, and no grant can happen before the holder releases —
+// so the assertion cannot flake on scheduling jitter.
+func TestFairSchedQueueWait(t *testing.T) {
+	s := newFairSched(1)
+	ctx := context.Background()
+
+	relA, wait, err := s.acquire(ctx, "a", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wait < 0 {
+		t.Fatalf("uncontended wait = %v, want >= 0", wait)
+	}
+
+	type grant struct {
+		tenant string
+		wait   time.Duration
+		rel    func()
+	}
+	grants := make(chan grant, 3)
+	for _, tenant := range []string{"b", "c", "d"} {
+		tenant := tenant
+		go func() {
+			rel, w, err := s.acquire(ctx, tenant, 0)
+			if err != nil {
+				t.Errorf("tenant %s: %v", tenant, err)
+				grants <- grant{tenant: tenant}
+				return
+			}
+			grants <- grant{tenant: tenant, wait: w, rel: rel}
+		}()
+		deadline := time.Now().Add(5 * time.Second)
+		for s.queueLen(tenant) < 1 {
+			if time.Now().After(deadline) {
+				t.Fatalf("tenant %s never queued", tenant)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	// All three waiters are queued. Hold the slot for a measurable
+	// interval before releasing: every waiter's begin predates this
+	// point, and no grant can precede the release, so each reported
+	// wait must be >= hold.
+	const hold = 20 * time.Millisecond
+	time.Sleep(hold)
+	relA()
+	for i := 0; i < 3; i++ {
+		g := <-grants
+		if g.rel == nil {
+			t.Fatalf("tenant %s was not granted", g.tenant)
+		}
+		if g.wait < hold {
+			t.Errorf("tenant %s reported wait %v, want >= %v", g.tenant, g.wait, hold)
+		}
+		g.rel()
+	}
+}
+
 // TestFairSchedQueueCapAndCancel covers the MaxQueued rejection and the
 // context-cancellation path for a queued waiter.
 func TestFairSchedQueueCapAndCancel(t *testing.T) {
 	s := newFairSched(1)
 	ctx := context.Background()
 
-	rel, err := s.acquire(ctx, "a", 1)
+	rel, _, err := s.acquire(ctx, "a", 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	queued := make(chan error, 1)
 	go func() {
-		r, err := s.acquire(ctx, "a", 1)
+		r, _, err := s.acquire(ctx, "a", 1)
 		if err == nil {
 			defer r()
 		}
@@ -108,13 +172,13 @@ func TestFairSchedQueueCapAndCancel(t *testing.T) {
 		time.Sleep(time.Millisecond)
 	}
 	// Queue is at its cap of 1: the next acquire is rejected immediately.
-	if _, err := s.acquire(ctx, "a", 1); err != errQueueFull {
+	if _, _, err := s.acquire(ctx, "a", 1); err != errQueueFull {
 		t.Fatalf("over-cap acquire: %v, want errQueueFull", err)
 	}
 	// A canceled waiter leaves the queue.
 	cctx, cancel := context.WithCancel(ctx)
 	cancel()
-	if _, err := s.acquire(cctx, "b", 0); err != context.Canceled {
+	if _, _, err := s.acquire(cctx, "b", 0); err != context.Canceled {
 		t.Fatalf("canceled acquire: %v, want context.Canceled", err)
 	}
 	rel()

@@ -32,6 +32,13 @@ type QueryOpts struct {
 	// queries enforce one joint grant. Exhaustion returns
 	// ErrBudgetExceeded.
 	Fuel *atomic.Int64
+	// Span, when non-nil, is the request trace span this query runs
+	// under: the query records a "count:<pattern>" child span with
+	// compile (enumerate/rank, with the aux-table verdict), lower, and
+	// execute (fuel spent, kernel mix, steals, slab hits) children, and
+	// the query's /debug/queries entry and slow-log record carry the
+	// span's tenant and trace ID. Nil costs one pointer check.
+	Span *TraceSpan
 
 	// The remaining fields are the batch layer's private plumbing
 	// (see batch.go); they are not settable from outside the module.

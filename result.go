@@ -109,16 +109,22 @@ func (s *System) countPattern(p *Pattern, cancel *atomic.Bool, tracker *engine.P
 	}
 	fuel := qo.fuelCounter()
 	tr := obs.NewTrace(name)
-	_, unregister := obs.RegisterQueryCancelable(name, tracker.Fraction, func() { cancel.Store(true) })
+	// span is this query's node in the request trace tree (nil — one
+	// pointer check per call site — when the caller isn't tracing).
+	span := qo.Span.StartChild(name)
+	meta := obs.QueryMeta{Tenant: qo.Span.Tenant(), TraceID: qo.Span.TraceID(), QueueWait: qo.Span.QueueWait()}
+	_, unregister := obs.RegisterQueryMeta(name, meta, tracker.Fraction, func() { cancel.Store(true) })
 	defer unregister()
 	e, hit, err := s.planFor(p, qo)
 	if err != nil {
 		tr.Finish(err)
+		span.EndErr(err)
 		return nil, err
 	}
 	out := &Result{}
 	st := &out.Stats
 	st.PlanCacheHit = hit
+	span.SetAttr("plan_cache_hit", hit)
 	if !hit {
 		st.Phases = append(st.Phases,
 			PhaseSpan{Phase: obs.PhaseEnumerate, Duration: e.stats.EnumerateTime, Candidates: e.stats.Candidates},
@@ -127,9 +133,24 @@ func (s *System) countPattern(p *Pattern, cancel *atomic.Bool, tracker *engine.P
 		tr.Span(obs.PhaseEnumerate, e.stats.EnumerateTime, e.stats.Candidates)
 		tr.Span(obs.PhaseRank, e.stats.RankTime, e.stats.Candidates)
 	}
+	if span != nil {
+		compile := span.StartChildAt("compile", begin)
+		compile.SetAttr("plan", e.plan.Desc)
+		if aux := core.PlanAuxSummary(e.plan); aux != "" {
+			compile.SetAttr("aux_tables", aux)
+		}
+		if !hit {
+			compile.SetAttr("candidates", int64(e.stats.Candidates))
+			compile.LeafAt(obs.PhaseEnumerate, begin, e.stats.EnumerateTime)
+			compile.LeafAt(obs.PhaseRank, begin.Add(e.stats.EnumerateTime), e.stats.RankTime)
+		}
+		compile.End()
+	}
+	runBegin := time.Now()
 	count, res, lowerDur, err := s.runStats(e.plan, nil, cancel, tracker, fuel, qo.resolve)
 	if err != nil {
 		tr.Finish(err)
+		span.EndErr(err)
 		return nil, err
 	}
 	if res.Canceled {
@@ -138,9 +159,11 @@ func (s *System) countPattern(p *Pattern, cancel *atomic.Bool, tracker *engine.P
 		// budget. The budget going negative identifies the latter.
 		if fuel != nil && fuel.Load() < 0 {
 			tr.Finish(ErrBudgetExceeded)
+			span.EndErr(ErrBudgetExceeded)
 			return nil, ErrBudgetExceeded
 		}
 		tr.Finish(ErrCanceled)
+		span.EndErr(ErrCanceled)
 		return nil, ErrCanceled
 	}
 	st.Phases = append(st.Phases,
@@ -155,9 +178,20 @@ func (s *System) countPattern(p *Pattern, cancel *atomic.Bool, tracker *engine.P
 	if qo.harvest != nil {
 		qo.harvest(e.plan, res.Globals)
 	}
+	if span != nil {
+		span.LeafAt(obs.PhaseLower, runBegin, lowerDur)
+		span.LeafAt(obs.PhaseExecute, runBegin.Add(lowerDur), res.Elapsed,
+			obs.SpanAttr{Key: "fuel_spent", Value: st.Exec.Instructions},
+			obs.SpanAttr{Key: "kernels", Value: st.Exec.Kernels},
+			obs.SpanAttr{Key: "steals", Value: st.Exec.Steals},
+			obs.SpanAttr{Key: "slab_hits", Value: st.Exec.SlabHits},
+			obs.SpanAttr{Key: "slab_misses", Value: st.Exec.SlabMisses})
+		span.SetAttr("count", count)
+	}
 	tr.Kernels = st.Exec.Kernels
 	tr.Finish(nil)
-	s.noteSlowQuery(tr.ID, name, begin, time.Since(begin), e, st)
+	span.End()
+	s.noteSlowQuery(tr.ID, name, begin, time.Since(begin), e, st, meta.TraceID)
 	return out, nil
 }
 
@@ -165,19 +199,20 @@ func (s *System) countPattern(p *Pattern, cancel *atomic.Bool, tracker *engine.P
 // its end-to-end latency crossed the configured threshold, carrying the
 // selected plan (Explain pseudocode + bytecode disassembly), the
 // kernel-path mix, and the run's profile (when profiling was on).
-func (s *System) noteSlowQuery(traceID uint64, name string, begin time.Time, total time.Duration, e *planEntry, st *QueryStats) {
+func (s *System) noteSlowQuery(traceID uint64, name string, begin time.Time, total time.Duration, e *planEntry, st *QueryStats, requestTraceID string) {
 	if thr := obs.SlowQueryThreshold(); thr <= 0 || total < thr {
 		return
 	}
 	obs.RecordSlowQuery(&obs.SlowQuery{
-		TraceID:     traceID,
-		Name:        name,
-		Begin:       begin,
-		DurationNS:  total.Nanoseconds(),
-		Plan:        slowQueryPlan(e),
-		Disassembly: core.PlanDisassembly(e.plan),
-		Kernels:     st.Exec.Kernels,
-		Profile:     st.Exec.Profile,
+		TraceID:        traceID,
+		RequestTraceID: requestTraceID,
+		Name:           name,
+		Begin:          begin,
+		DurationNS:     total.Nanoseconds(),
+		Plan:           slowQueryPlan(e),
+		Disassembly:    core.PlanDisassembly(e.plan),
+		Kernels:        st.Exec.Kernels,
+		Profile:        st.Exec.Profile,
 	})
 }
 

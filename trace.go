@@ -1,0 +1,24 @@
+package decomine
+
+import "decomine/internal/obs"
+
+// TraceSpan is one node of a request-scoped trace tree (an alias for the
+// internal tracer's span, like ExecutionProfile for obs.Profile). Library
+// callers start a root with StartTraceSpan (or StartTraceSpanContext to
+// join an incoming W3C trace), pass it to queries via QueryOpts.Span /
+// BatchOpts.Span, and End it when the request finishes; the tree is then
+// retrievable at /debug/trace/{id} and exported as OTLP/JSON at
+// /debug/traces/export, subject to tail-based retention
+// (obs.SetTraceSampling: error, slow and budget-exceeded traces are
+// always kept).
+type TraceSpan = obs.Span
+
+// StartTraceSpan starts a new root trace span with a fresh trace ID.
+func StartTraceSpan(name string) *TraceSpan { return obs.StartSpan(name) }
+
+// StartTraceSpanContext starts a root trace span, adopting the trace ID
+// of a valid W3C `traceparent` header value; an empty or malformed value
+// starts a fresh trace.
+func StartTraceSpanContext(name, traceparent string) *TraceSpan {
+	return obs.StartSpanContext(name, traceparent)
+}
